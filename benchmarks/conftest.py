@@ -1,0 +1,22 @@
+"""Shared benchmark fixtures.
+
+The Table III experiment is the expensive one (it drives five full-system
+configurations); it runs once per session and both the Table III and
+Fig. 9 benches report from it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.table3 import Table3Result, run_table3
+
+#: Requests measured per configuration.  More requests tighten the means
+#: but cost host time roughly linearly.
+COMPLETIONS = 50
+
+
+@pytest.fixture(scope="session")
+def table3_result() -> Table3Result:
+    return run_table3(completions_per_config=COMPLETIONS, seed=1,
+                      max_ms=6000.0)

@@ -1,0 +1,47 @@
+"""Fig. 9 — degradation ratio R_D = t_virt / t_native per overhead class.
+
+Derived from the same measurement run as Table III (eq. 1; the classes
+that are zero natively use the 1-VM value as baseline, as in the paper).
+Asserts the figure's two qualitative claims: ratios decline^W rise with
+the OS number, and the growth *decelerates* toward a constant worst case.
+"""
+
+from __future__ import annotations
+
+from repro.eval.fig9 import ONE_VM_BASELINE, PAPER_FIG9, degradation_from_table3
+from repro.eval.table3 import ROW_ORDER
+
+
+def test_bench_fig9(benchmark, table3_result):
+    fig9 = degradation_from_table3(table3_result)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for row, series in fig9.ratios.items():
+        for n, v in series.items():
+            benchmark.extra_info[f"RD_{row}_{n}os"] = round(v, 4)
+
+    print()
+    print(fig9.format())
+    print()
+    print("PAPER REFERENCE:")
+    for row in ROW_ORDER:
+        cells = [f"{row:14s}"]
+        for n in (1, 2, 3, 4):
+            cells.append(f"{PAPER_FIG9[row][n]:8.3f}")
+        print("".join(cells))
+
+    r = fig9.ratios
+    # Baselines: R_D(1) == 1 for the 1-VM-normalized classes.
+    for row in ONE_VM_BASELINE:
+        assert abs(r[row][1] - 1.0) < 1e-9
+    # Execution's 1-VM ratio is slightly above 1 (paper: 1.03).
+    assert 1.0 < r["execution"][1] < 1.15
+    # Rising with OS number for the aggregate classes.
+    assert r["total"][4] > r["total"][1]
+    assert r["entry"][4] > 1.1
+    # Deceleration: the 3->4 step is smaller than the 1->2 step for the
+    # total (paper: the trend "is slowing down").
+    step_12 = r["total"][2] - r["total"][1]
+    step_34 = r["total"][4] - r["total"][3]
+    assert step_34 < step_12 + 0.05
+    # Total degradation stays in the paper's "acceptable" band.
+    assert r["total"][4] < 1.45

@@ -1,0 +1,37 @@
+"""Extension study: hardware-task throughput vs. number of PRRs.
+
+Four guests hammer QAM tasks; the floorplan is varied from 1 to 4 regions.
+Expected shape: completions per simulated second grow with the region
+count and saturate once regions outnumber concurrent requesters' demand.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.scenarios import build_virtualized
+from repro.machine import MachineConfig, PRR_SMALL
+
+
+def _throughput(n_prrs: int, *, sim_ms: float = 250.0) -> float:
+    cfg = MachineConfig(prr_capacities=tuple([PRR_SMALL] * n_prrs),
+                        tasks=("qam4", "qam16", "qam64"))
+    sc = build_virtualized(4, seed=55, with_workloads=False, iterations=None,
+                           task_set=("qam4", "qam16", "qam64"),
+                           machine_config=cfg)
+    sc.run_ms(sim_ms)
+    return sc.total_completions() / (sim_ms / 1000.0)
+
+
+def test_bench_prr_scaling(benchmark):
+    rows = [(n, _throughput(n)) for n in (1, 2, 4)]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("FABRIC PARALLELISM — QAM completions/sec vs PRR count (4 guests)")
+    for n, tput in rows:
+        benchmark.extra_info[f"prr{n}_per_s"] = round(tput, 1)
+        print(f"  {n} PRR(s): {tput:8.1f} tasks/s")
+    by_n = dict(rows)
+    # More regions -> at least as much throughput, with real gain 1 -> 4.
+    assert by_n[2] >= by_n[1] * 0.95
+    assert by_n[4] > by_n[1] * 1.1

@@ -1,0 +1,45 @@
+"""Reconfiguration latency sweep (Section V prose + ref. [17]):
+bitstream size vs. PCAP download time, per hardware task.
+
+The paper states task size and reconfiguration delay "are directly
+related"; this regenerates that relation over the full task library and
+checks it is linear in the bitstream size at the PCAP's throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.units import cycles_to_ms
+from repro.machine import Machine
+
+
+def test_bench_reconfig_latency(benchmark):
+    m = Machine()
+    rows = []
+    for task in sorted(m.bitstreams.tasks()):
+        bit = m.bitstreams.get(task)
+        t0 = m.now
+        m.pcap.start_transfer(bit, 0 if task.startswith("fft") else 2)
+        m.sim.advance_to_next_event()
+        rows.append((task, bit.size, cycles_to_ms(m.now - t0, m.params.cpu.hz)))
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    print()
+    print("RECONFIGURATION LATENCY (PCAP @ 145 MB/s)")
+    print(f"{'task':10s}{'bitstream':>12s}{'latency':>12s}")
+    for task, size, ms in rows:
+        benchmark.extra_info[f"{task}_ms"] = round(ms, 3)
+        print(f"{task:10s}{size:>10d} B{ms:>10.2f} ms")
+
+    sizes = {t: s for t, s, _ in rows}
+    lats = {t: l for t, _, l in rows}
+    # Monotone in size within each family, QAM << FFT.
+    assert lats["fft256"] < lats["fft8192"]
+    assert lats["qam4"] < lats["fft256"]
+    # Linearity: latency/size constant to within 1% across the library.
+    ratios = [l / s for _, s, l in rows]
+    assert max(ratios) / min(ratios) < 1.01
+    # Millisecond-scale DPR latencies (Zynq reality check).
+    assert 0.5 < lats["qam4"] < 5.0
+    assert 1.0 < lats["fft8192"] < 20.0

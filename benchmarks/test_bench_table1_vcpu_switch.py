@@ -1,0 +1,73 @@
+"""Table I — vCPU content and the active/lazy switch split.
+
+Measures what the table's design implies: a VM switch under the lazy
+policy moves only the active-switch resources; the VFP bank moves later
+(and only if used) at the first-use trap.  The eager alternative pays the
+full VFP move on every switch.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import cycles_to_us
+from repro.cpu.vfp import VFP_CONTEXT_WORDS
+from repro.kernel.core import KernelConfig, MiniNova
+from repro.kernel.vcpu import Vcpu
+from repro.machine import Machine, MachineConfig
+
+
+class _Null:
+    def bind(self, k, pd): ...
+    def step(self, b): ...
+    def deliver_virq(self, i): ...
+    def complete_hypercall(self, e): ...
+
+
+def _switch_cost(lazy: bool, rounds: int = 40) -> tuple[float, float]:
+    """Returns (mean switch µs, mean lazy-trap µs)."""
+    m = Machine(MachineConfig(tasks=("qam4",)))
+    k = MiniNova(m, KernelConfig(lazy_vfp=lazy))
+    k.boot()
+    a = k.create_vm("a", _Null())
+    b = k.create_vm("b", _Null())
+    m.cpu.vfp.owner = a.vm_id
+    k._vm_switch(a)
+    switch_cycles = 0
+    trap_cycles = 0
+    for i in range(rounds):
+        nxt = b if k.current is a else a
+        t0 = m.now
+        k._vm_switch(nxt)
+        switch_cycles += m.now - t0
+        if lazy:
+            t0 = m.now
+            k._vfp_lazy_switch(nxt)     # the VM does use the VFP
+            trap_cycles += m.now - t0
+    hz = m.params.cpu.hz
+    return (cycles_to_us(switch_cycles / rounds, hz),
+            cycles_to_us(trap_cycles / rounds, hz))
+
+
+def test_bench_table1_switch_mechanisms(benchmark):
+    lazy_switch, lazy_trap = _switch_cost(lazy=True)
+    eager_switch, _ = _switch_cost(lazy=False)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "active_context_words": Vcpu.ACTIVE_CONTEXT_WORDS,
+        "vfp_context_words": VFP_CONTEXT_WORDS,
+        "lazy_switch_us": round(lazy_switch, 3),
+        "lazy_firstuse_trap_us": round(lazy_trap, 3),
+        "eager_switch_us": round(eager_switch, 3),
+    })
+    print()
+    print("TABLE I — vCPU SWITCH MECHANISMS")
+    print(f"  active-switch context: {Vcpu.ACTIVE_CONTEXT_WORDS} words")
+    print(f"  lazy-switch (VFP) context: {VFP_CONTEXT_WORDS} words")
+    print(f"  VM switch, lazy policy:  {lazy_switch:6.2f} us "
+          f"(+{lazy_trap:.2f} us first-use trap)")
+    print(f"  VM switch, eager policy: {eager_switch:6.2f} us")
+
+    # The design claim: lazy switches are cheaper per switch...
+    assert lazy_switch < eager_switch
+    # ...and even switch+trap beats eager when only one of two VMs uses
+    # the VFP (the eager policy pays save+restore unconditionally).
+    assert lazy_switch + lazy_trap < 2.5 * eager_switch

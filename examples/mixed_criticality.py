@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Mixed-criticality hosting — the motivation of the paper's introduction.
+
+A real-time control VM (paper: 'applications with tighter time constraints
+... are given higher priority level, so that they can preempt general-
+purpose guest OSes') shares the platform with two best-effort VMs running
+heavy signal-processing workloads.  The demo measures the control task's
+activation jitter in two configurations:
+
+* RT VM at a higher VM priority (the paper's design) — activations stay
+  tick-accurate because the RT VM preempts the busy guests;
+* RT VM at the same priority — activations are at the mercy of the 33 ms
+  round-robin and jitter explodes.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.common.units import cycles_to_ms, cycles_to_us, ms_to_cycles
+from repro.eval.scenarios import build_virtualized
+from repro.guest.actions import Compute, Delay, Finish
+from repro.guest.ucos import Ucos
+from repro.guest.ports.paravirt import ParavirtUcos
+
+
+def control_vm(sc, *, vm_priority: int, periods: int = 40):
+    """Add an RT guest whose control task runs every 2 OS ticks (20 ms)."""
+    activations: list[int] = []
+    os_ = Ucos("rt-control", tick_hz=100)
+
+    def control_task(os):
+        for _ in range(periods):
+            activations.append(sc.machine.now)
+            # A short control-law computation (~45 us).
+            yield Compute(30_000, 2_000, ((0x0040_0000, 16 * 1024),))
+            yield Delay(2)
+        yield Finish()
+
+    os_.create_task("control", 4, control_task)
+    sc.kernel.create_vm("rt-control", ParavirtUcos(os_),
+                        priority=vm_priority)
+    return activations
+
+
+def run(vm_priority: int) -> list[float]:
+    sc = build_virtualized(2, seed=5, with_workloads=True, iterations=None,
+                           task_set=("fft4096", "qam16"))
+    acts = control_vm(sc, vm_priority=vm_priority)
+    sc.kernel.run(until=lambda: len(acts) >= 40,
+                  until_cycles=ms_to_cycles(4000))
+    hz = sc.machine.params.cpu.hz
+    periods = [cycles_to_ms(b - a, hz) for a, b in zip(acts, acts[1:])]
+    return periods
+
+
+def describe(label: str, periods: list[float]) -> float:
+    mean = statistics.mean(periods)
+    jitter = statistics.pstdev(periods)
+    worst = max(abs(p - 20.0) for p in periods)
+    print(f"  {label:34s} mean {mean:6.2f} ms   "
+          f"jitter {jitter:6.3f} ms   worst dev {worst:7.3f} ms")
+    return worst
+
+
+def main() -> None:
+    print("=== Mixed criticality: RT control VM + 2 busy guests ===")
+    print("control task period: 20 ms (2 OS ticks)")
+    high = run(vm_priority=3)        # above the guests (paper design)
+    same = run(vm_priority=1)        # equal round-robin citizen
+    worst_high = describe("RT VM above guests (paper):", high)
+    worst_same = describe("RT VM at guest priority:", same)
+    print()
+    if worst_high * 3 < worst_same:
+        print("priority hosting keeps the control loop tick-accurate; "
+              "round-robin sharing does not.")
+    else:
+        print("WARNING: expected a clearer separation — check scheduling!")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""The paper's full evaluation (Section V): Table III and Fig. 9.
+
+Runs the native baseline plus 1-4 guest configurations of Fig. 8 — each
+guest executing GSM encoding + ADPCM compression plus the T_hw random
+hardware-task requester over FFT{256..8192} and QAM{4,16,64} on 4 PRRs —
+and prints the regenerated Table III and Fig. 9 next to the paper's
+numbers.
+
+Takes a couple of minutes (it simulates ~2 s of 660 MHz machine time
+across five full-system configurations).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.eval.fig9 import PAPER_FIG9, degradation_from_table3
+from repro.eval.table3 import PAPER_TABLE3, ROW_LABELS, ROW_ORDER, run_table3
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--completions", type=int, default=60,
+                    help="T_hw requests measured per configuration")
+    ap.add_argument("--seed", type=int, default=1)
+    args = ap.parse_args()
+
+    t0 = time.time()
+    t3 = run_table3(completions_per_config=args.completions, seed=args.seed,
+                    max_ms=8000.0)
+    print(t3.format())
+    print()
+    print("PAPER TABLE III (us):")
+    header = "".join(["  class".ljust(26)] + [str(c).rjust(9)
+                                              for c in ("native", 1, 2, 3, 4)])
+    print(header)
+    for row in ROW_ORDER:
+        cells = [f"  {ROW_LABELS[row]:24s}"]
+        for col in ("native", 1, 2, 3, 4):
+            cells.append(f"{PAPER_TABLE3[col][row]:9.2f}")
+        print("".join(cells))
+
+    print()
+    fig9 = degradation_from_table3(t3)
+    print(fig9.format())
+    print()
+    print("PAPER FIG. 9:")
+    for row in ROW_ORDER:
+        cells = [f"  {row:14s}"]
+        for n in (1, 2, 3, 4):
+            cells.append(f"{PAPER_FIG9[row][n]:8.3f}")
+        print("".join(cells))
+
+    print()
+    print(f"(wall-clock: {time.time() - t0:.0f} s)")
+
+
+if __name__ == "__main__":
+    main()

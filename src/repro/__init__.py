@@ -1,0 +1,30 @@
+"""Mini-NOVA reproduction: an ARM-FPGA virtualization microkernel with
+dynamic-partial-reconfiguration support, running on a simulated Zynq-7000.
+
+The package layers, bottom-up:
+
+- :mod:`repro.sim` — discrete-event engine (integer CPU-cycle clock);
+- :mod:`repro.mem`, :mod:`repro.cache` — physical memory/bus, ARMv7
+  short-descriptor MMU with DACR domains, ASID-tagged TLB, L1/L2 caches;
+- :mod:`repro.cpu` — behavioural Cortex-A9-style core (modes, exceptions,
+  CP15-style registers, lazy-switched VFP);
+- :mod:`repro.gic`, :mod:`repro.timerhw` — interrupt controller and timers;
+- :mod:`repro.fpga` — PL fabric: PRRs, PRR controller with hwMMU, PCAP,
+  DMA, FFT/QAM IP-core models;
+- :mod:`repro.kernel` — the Mini-NOVA microkernel itself (vCPU, protection
+  domains, vGIC, scheduler, hypercalls, memory manager);
+- :mod:`repro.hwmgr` — the user-level Hardware Task Manager service;
+- :mod:`repro.guest` — a uC/OS-II-style guest RTOS with native and
+  paravirtualized ports;
+- :mod:`repro.dsp`, :mod:`repro.workloads` — signal-processing kernels and
+  the guest workloads of the paper's evaluation;
+- :mod:`repro.eval` — measurement probes and the Table III / Fig. 9
+  experiment runners.
+
+Typical entry point: :class:`repro.machine.Machine` (full platform) or the
+scenario builders in :mod:`repro.eval.scenarios`.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,89 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run``      — run a virtualized (or native) scenario and print a report
+* ``table3``   — regenerate Table III (+ Fig. 9) and print both
+* ``inventory``— list the hardware-task library and the fabric floorplan
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .common.units import cycles_to_ms
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from .eval.report import scenario_report
+    from .eval.scenarios import build_native, build_virtualized
+
+    if args.native:
+        sc = build_native(seed=args.seed, verify=args.verify)
+    else:
+        sc = build_virtualized(args.guests, seed=args.seed,
+                               verify=args.verify)
+    sc.run_ms(args.ms)
+    print(scenario_report(sc))
+    return 0
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    from .eval.fig9 import degradation_from_table3
+    from .eval.table3 import run_table3
+
+    t3 = run_table3(completions_per_config=args.completions, seed=args.seed)
+    print(t3.format())
+    print()
+    print(degradation_from_table3(t3).format())
+    return 0
+
+
+def cmd_inventory(args: argparse.Namespace) -> int:
+    from .machine import Machine
+
+    m = Machine()
+    print("hardware-task library:")
+    for name in sorted(m.bitstreams.tasks()):
+        core = m.bitstreams.core(name)
+        bit = m.bitstreams.get(name)
+        fits = [p.prr_id for p in m.prrs if core.resources.fits_in(p.capacity)]
+        ms = cycles_to_ms(m.pcap.transfer_cycles(bit.size), m.params.cpu.hz)
+        print(f"  {name:8s} bitstream {bit.size:>7d} B  reconfig {ms:5.2f} ms"
+              f"  PRRs {fits}")
+    print("fabric floorplan:")
+    for p in m.prrs:
+        c = p.capacity
+        print(f"  PRR{p.prr_id}: {c.luts} LUTs, {c.bram} BRAM, {c.dsp} DSP")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    p_run = sub.add_parser("run", help="run a scenario and print a report")
+    p_run.add_argument("--guests", type=int, default=2)
+    p_run.add_argument("--native", action="store_true")
+    p_run.add_argument("--ms", type=float, default=200.0,
+                       help="simulated milliseconds")
+    p_run.add_argument("--seed", type=int, default=1)
+    p_run.add_argument("--verify", action="store_true",
+                       help="check every hardware result against the golden model")
+    p_run.set_defaults(fn=cmd_run)
+
+    p_t3 = sub.add_parser("table3", help="regenerate Table III and Fig. 9")
+    p_t3.add_argument("--completions", type=int, default=50)
+    p_t3.add_argument("--seed", type=int, default=1)
+    p_t3.set_defaults(fn=cmd_table3)
+
+    p_inv = sub.add_parser("inventory", help="task library + floorplan")
+    p_inv.set_defaults(fn=cmd_inventory)
+
+    args = ap.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

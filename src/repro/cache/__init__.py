@@ -1,0 +1,6 @@
+"""Set-associative cache models (L1 I/D + unified L2)."""
+
+from .hierarchy import AccessKind, CacheHierarchy
+from .level import CacheLevel, CacheStats
+
+__all__ = ["AccessKind", "CacheHierarchy", "CacheLevel", "CacheStats"]

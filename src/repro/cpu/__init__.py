@@ -1,0 +1,12 @@
+"""Behavioural ARM Cortex-A9-style CPU model."""
+
+from .core import Cpu
+from .modes import EXCEPTION_MODE, VECTOR_OFFSETS, Mode
+from .registers import RegisterFile
+from .sysregs import SystemRegisters
+from .vfp import VFP_CONTEXT_WORDS, Vfp
+
+__all__ = [
+    "Cpu", "EXCEPTION_MODE", "VECTOR_OFFSETS", "Mode", "RegisterFile",
+    "SystemRegisters", "VFP_CONTEXT_WORDS", "Vfp",
+]

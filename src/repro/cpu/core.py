@@ -1,0 +1,183 @@
+"""Behavioural CPU core: modes, exception machinery, timed access helpers.
+
+The core does not interpret an ISA.  Kernel and guest routines are Python
+code that *narrates* its execution to the core — ``code()`` for instruction
+blocks, ``load``/``store``/``read32``/``write32`` for data traffic — and the
+core charges cycles onto the simulation clock through the real MMU/cache
+models.  Mode and privilege state is fully functional: a USR-mode access to
+a privileged page or register faults exactly like hardware would.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import SimulationError
+from ..common.params import PlatformParams
+from ..mem.system import MemorySystem
+from ..sim.engine import Simulator
+from .modes import EXCEPTION_MODE, VECTOR_OFFSETS, Mode
+from .registers import RegisterFile
+from .sysregs import SystemRegisters
+from .vfp import Vfp
+
+#: ARM instructions per 32-byte I-cache line.
+_INSTR_PER_LINE = 8
+
+
+class Cpu:
+    """Single modelled Cortex-A9 core (the paper uses one core of the dual-A9)."""
+
+    def __init__(self, sim: Simulator, mem: MemorySystem,
+                 params: PlatformParams) -> None:
+        self.sim = sim
+        self.mem = mem
+        self.params = params
+        self.timing = params.cpu
+        self.regs = RegisterFile()
+        self.sysregs = SystemRegisters(mem.mmu)
+        self.vfp = Vfp()
+        self.mode = Mode.SVC
+        #: CPSR.I equivalent: True while IRQs must not be taken.
+        self.irq_masked = True
+        #: Asserted by the GIC CPU interface when an enabled IRQ is pending.
+        self.irq_line = False
+        #: Vector table base (VBAR); kernel installs it at boot.
+        self.vbar = 0
+        self._mode_stack: list[tuple[Mode, bool]] = []
+        #: Cycles attributed per category, for the evaluation probes.
+        self.cycle_ledger: dict[str, int] = {}
+        self._ledger_key = "boot"
+
+    # -- privilege ----------------------------------------------------------
+
+    @property
+    def privileged(self) -> bool:
+        return self.mode.privileged
+
+    def set_mode(self, mode: Mode) -> None:
+        self.mode = mode
+        self.regs.mode = mode
+
+    # -- accounting ---------------------------------------------------------
+
+    def set_ledger(self, key: str) -> str:
+        """Route subsequent cycle charges to ``key``; returns previous key."""
+        prev, self._ledger_key = self._ledger_key, key
+        return prev
+
+    def _charge(self, cycles: int) -> None:
+        if cycles:
+            self.sim.clock.advance(cycles)
+            self.cycle_ledger[self._ledger_key] = \
+                self.cycle_ledger.get(self._ledger_key, 0) + cycles
+
+    # -- timed execution helpers ---------------------------------------------
+
+    def instr(self, n: int) -> None:
+        """Charge issue cost for ``n`` straight-line instructions (no fetch)."""
+        self._charge(self.timing.instr_cycles(n))
+
+    #: Residual cost of a prefetch-covered line miss (the A9's sequential
+    #: prefetcher hides most of the latency of straight-line code runs).
+    _PREFETCH_COVERED = 10
+
+    def code(self, va: int, n_instr: int) -> None:
+        """Execute a code block at ``va``: I-fetches + issue cycles.
+
+        The first line of a block pays its true miss latency; subsequent
+        *sequential* lines are prefetch-covered, so long straight-line
+        routines don't pay a full miss per 8 instructions.
+        """
+        lines = max(1, (n_instr + _INSTR_PER_LINE - 1) // _INSTR_PER_LINE)
+        line_bytes = self.params.l1i.line
+        cyc = 0
+        for i in range(lines):
+            lat = self.mem.touch(va + i * line_bytes, privileged=self.privileged,
+                                 fetch=True)
+            cyc += lat if i == 0 else min(lat, self._PREFETCH_COVERED)
+        cyc += self.timing.instr_cycles(n_instr)
+        self._charge(cyc)
+
+    def load(self, va: int) -> None:
+        """Timed load (timing only)."""
+        self._charge(self.mem.touch(va, write=False, privileged=self.privileged))
+
+    def store(self, va: int) -> None:
+        """Timed store (timing only)."""
+        self._charge(self.mem.touch(va, write=True, privileged=self.privileged))
+
+    def touch_range(self, base: int, size: int, *, write: bool = False,
+                    stride: int | None = None) -> None:
+        """Sequential timed sweep over [base, base+size)."""
+        step = stride or self.params.l1d.line
+        va = base
+        end = base + size
+        cyc = 0
+        while va < end:
+            cyc += self.mem.touch(va, write=write, privileged=self.privileged)
+            va += step
+        self._charge(cyc)
+
+    def stream_range(self, base: int, size: int, *, write: bool = False) -> None:
+        """Streaming access to an *uncached* buffer (e.g. a DMA staging
+        section on the non-coherent AXI_HP path): translation is paid per
+        page, data moves at line granularity straight to/from DRAM without
+        polluting the caches."""
+        line = self.params.l1d.line
+        lines = max(1, size // line)
+        cyc = 0
+        # One TLB-visible access per 4 KB page for translation cost.
+        va = base
+        end = base + size
+        while va < end:
+            _, c = self.mem.mmu.translate(va, privileged=self.privileged,
+                                          write=write)
+            cyc += c
+            va += 4096
+        # Burst transfers: roughly a quarter of the DRAM latency per line.
+        cyc += lines * (self.timing.dram // 4)
+        self._charge(cyc)
+
+    def read32(self, va: int) -> int:
+        """Functional timed 32-bit read."""
+        value, cyc = self.mem.read32(va, privileged=self.privileged)
+        self._charge(cyc)
+        return value
+
+    def write32(self, va: int, value: int) -> None:
+        """Functional timed 32-bit write."""
+        self._charge(self.mem.write32(va, value, privileged=self.privileged))
+
+    # -- exceptions ------------------------------------------------------------
+
+    def take_exception(self, kind: str) -> None:
+        """Architectural exception entry: bank switch, SPSR, vector fetch."""
+        if kind not in EXCEPTION_MODE:
+            raise SimulationError(f"unknown exception kind {kind!r}")
+        target = EXCEPTION_MODE[kind]
+        self._mode_stack.append((self.mode, self.irq_masked))
+        self.regs.set_spsr(self.regs.cpsr, target)
+        self.set_mode(target)
+        self.irq_masked = True
+        self._charge(self.timing.exception_entry)
+        # Vector + first handler line fetch through the I-cache.
+        vec = self.vbar + VECTOR_OFFSETS["irq" if kind == "fiq" else kind]
+        self._charge(self.mem.touch(vec, privileged=True, fetch=True))
+
+    def return_from_exception(self) -> None:
+        """Exception return (movs pc, lr style): restore mode + IRQ mask."""
+        if not self._mode_stack:
+            raise SimulationError("exception return with empty mode stack")
+        mode, masked = self._mode_stack.pop()
+        self.set_mode(mode)
+        self.irq_masked = masked
+        self._charge(self.timing.exception_return)
+
+    @property
+    def exception_depth(self) -> int:
+        return len(self._mode_stack)
+
+    # -- interrupts --------------------------------------------------------------
+
+    def irq_pending(self) -> bool:
+        """True when the GIC asserts IRQ and the CPSR.I mask allows it."""
+        return self.irq_line and not self.irq_masked

@@ -1,0 +1,47 @@
+"""ARM operating modes and privilege levels (Cortex-A9, no HYP).
+
+The paper (Section III): Mini-NOVA executes in SVC; guests in USR; IRQ/FIQ,
+UND and ABT modes trap the three exception classes used to build the
+virtualized environment.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Mode(Enum):
+    USR = "usr"
+    SVC = "svc"
+    IRQ = "irq"
+    FIQ = "fiq"
+    UND = "und"
+    ABT = "abt"
+    SYS = "sys"
+
+    @property
+    def privileged(self) -> bool:
+        """PL1 for every mode except USR (PL0)."""
+        return self is not Mode.USR
+
+
+#: Exception vector table offsets (ARM: base + offset), by taking mode.
+VECTOR_OFFSETS = {
+    "reset": 0x00,
+    "und": 0x04,
+    "svc": 0x08,      # SVC call (hypercall entry in Mini-NOVA)
+    "pabt": 0x0C,
+    "dabt": 0x10,
+    "irq": 0x18,
+    "fiq": 0x1C,
+}
+
+#: Mode an exception class is taken in.
+EXCEPTION_MODE = {
+    "und": Mode.UND,
+    "svc": Mode.SVC,
+    "pabt": Mode.ABT,
+    "dabt": Mode.ABT,
+    "irq": Mode.IRQ,
+    "fiq": Mode.FIQ,
+}

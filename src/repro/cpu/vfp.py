@@ -1,0 +1,52 @@
+"""Vector Floating-Point unit with lazy context switching (Table I).
+
+The unit holds 32 double registers (256 bytes of context).  Mini-NOVA
+disables the VFP on every VM switch instead of saving it; the *first* VFP
+instruction of the incoming VM traps (UndefinedInstruction), and only then
+does the kernel save the previous owner's bank and restore the new one.
+VMs that never touch the VFP therefore never pay for it.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import UndefinedInstruction
+
+#: 32 x 64-bit registers + FPSCR/FPEXC => words moved per save or restore.
+VFP_CONTEXT_WORDS = 66
+
+
+class Vfp:
+    def __init__(self) -> None:
+        self.enabled = False
+        #: Identifier of the VM whose register bank is physically loaded
+        #: (None until first use).  The kernel compares this with the
+        #: running VM on a lazy-switch trap.
+        self.owner: int | None = None
+        #: Counters for the ablation bench.
+        self.traps = 0
+        self.saves = 0
+        self.restores = 0
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Called by the kernel on VM switch (the 'lazy' part)."""
+        self.enabled = False
+
+    def execute(self) -> None:
+        """A guest VFP instruction; traps when the unit is disabled."""
+        if not self.enabled:
+            self.traps += 1
+            raise UndefinedInstruction("VFP instruction with FPEXC.EN=0")
+
+    def save_bank(self) -> int:
+        """Model saving the current bank; returns words moved."""
+        self.saves += 1
+        return VFP_CONTEXT_WORDS
+
+    def restore_bank(self, owner: int) -> int:
+        """Model restoring ``owner``'s bank; returns words moved."""
+        self.restores += 1
+        self.owner = owner
+        return VFP_CONTEXT_WORDS

@@ -1,0 +1,8 @@
+"""Signal-processing golden models shared by hardware-task IP cores and
+software baselines: FFT, QAM, IMA-ADPCM, GSM-style speech encoding."""
+
+from . import adpcm, fft, gsm, qam
+from .fft import FFT_SIZES
+from .qam import QAM_ORDERS
+
+__all__ = ["adpcm", "fft", "gsm", "qam", "FFT_SIZES", "QAM_ORDERS"]

@@ -1,0 +1,61 @@
+"""Radix-2 FFT golden model.
+
+This is the numerical contract shared by the software task and the FPGA
+FFT IP core: both produce exactly these values, so the integration tests
+can check the whole DMA/hwMMU/IRQ pipeline end-to-end for functional
+correctness, not just timing.  An explicit iterative radix-2 implementation
+is kept alongside the NumPy call as the "specification" (and is itself
+validated against ``np.fft.fft`` in the unit tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: FFT sizes offered as hardware tasks in the paper's evaluation.
+FFT_SIZES = (256, 512, 1024, 2048, 4096, 8192)
+
+
+def is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def fft(x: np.ndarray) -> np.ndarray:
+    """FFT of a power-of-two-length vector (complex64 in, complex64 out)."""
+    x = np.asarray(x)
+    if not is_pow2(len(x)):
+        raise ValueError(f"FFT length {len(x)} is not a power of two")
+    return np.fft.fft(x.astype(np.complex128)).astype(np.complex64)
+
+
+def fft_radix2_reference(x: np.ndarray) -> np.ndarray:
+    """Iterative decimation-in-time radix-2 FFT (specification version)."""
+    x = np.asarray(x, dtype=np.complex128)
+    n = len(x)
+    if not is_pow2(n):
+        raise ValueError(f"FFT length {n} is not a power of two")
+    levels = n.bit_length() - 1
+    # Bit-reversal permutation.
+    idx = np.arange(n)
+    rev = np.zeros(n, dtype=np.int64)
+    for b in range(levels):
+        rev |= ((idx >> b) & 1) << (levels - 1 - b)
+    a = x[rev].copy()
+    half = 1
+    while half < n:
+        w = np.exp(-2j * np.pi * np.arange(half) / (2 * half))
+        for start in range(0, n, 2 * half):
+            top = a[start:start + half].copy()
+            bot = a[start + half:start + 2 * half] * w
+            a[start:start + half] = top + bot
+            a[start + half:start + 2 * half] = top - bot
+        half *= 2
+    return a.astype(np.complex64)
+
+
+def fft_butterfly_count(n: int) -> int:
+    """Number of butterfly operations: (N/2)·log2(N) — the work the
+    software-task timing model charges for."""
+    if not is_pow2(n):
+        raise ValueError(f"FFT length {n} is not a power of two")
+    return (n // 2) * (n.bit_length() - 1)

@@ -1,0 +1,21 @@
+"""Evaluation harness: scenario builders, trace measurement, and the
+Table III / Fig. 9 experiment runners."""
+
+from .fig9 import Fig9Result, PAPER_FIG9, degradation_from_table3
+from .measures import OverheadSamples, extract_overheads
+from .scenarios import (
+    GuestSetup,
+    NativeScenario,
+    VirtScenario,
+    build_native,
+    build_virtualized,
+    task_directory,
+)
+from .table3 import PAPER_TABLE3, Table3Result, run_table3
+
+__all__ = [
+    "Fig9Result", "PAPER_FIG9", "degradation_from_table3",
+    "OverheadSamples", "extract_overheads", "GuestSetup", "NativeScenario",
+    "VirtScenario", "build_native", "build_virtualized", "task_directory",
+    "PAPER_TABLE3", "Table3Result", "run_table3",
+]

@@ -1,0 +1,111 @@
+"""Extract the Table III overhead classes from a kernel/native trace.
+
+Event protocol (emitted by the kernel and the native system):
+
+* ``hwreq_trap(vm, hc)``     — SVC trap of an HC_HWTASK_REQUEST
+* ``mgr_exec_start(vm)``     — manager's first instruction for the request
+* ``mgr_exec_end(vm)``       — manager posted the result
+* ``hwreq_resumed(vm)``      — requesting guest resumed with the status
+* ``plirq_route_start/_end(seq)``, ``plirq_inject_start/_end(seq)``
+                             — the two halves of PL-IRQ distribution
+
+Overhead classes (paper definitions):
+
+* **HW Manager entry**  = trap -> first manager instruction
+* **HW Manager execution** = manager routine duration
+* **HW Manager exit**   = result posted -> requester resumed
+* **PL IRQ entry**      = exception vector -> vIRQ injected (routing +
+  injection halves summed per IRQ instance)
+* **Total overhead**    = entry + execution + exit
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+
+from ..common.units import cycles_to_us
+from ..kernel.hypercalls import Hc
+from ..kernel.trace import Tracer
+
+
+@dataclass
+class OverheadSamples:
+    """Per-request samples, in CPU cycles."""
+
+    entry: list[int] = field(default_factory=list)
+    execution: list[int] = field(default_factory=list)
+    exit: list[int] = field(default_factory=list)
+    total: list[int] = field(default_factory=list)
+    plirq: list[int] = field(default_factory=list)
+
+    def summary_us(self, hz: int, *, trim: float = 0.05) -> dict[str, float]:
+        """Trimmed means in microseconds (PL IRQ defaults to 0 when the
+        configuration never produced one, e.g. the native port)."""
+        out = {}
+        for name in ("entry", "execution", "exit", "total", "plirq"):
+            samples = getattr(self, name)
+            out[name] = cycles_to_us(_trimmed_mean(samples, trim), hz) \
+                if samples else 0.0
+        return out
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.total)
+
+
+def _trimmed_mean(samples: list[int], trim: float) -> float:
+    if not samples:
+        return 0.0
+    s = sorted(samples)
+    k = int(len(s) * trim)
+    core = s[k:len(s) - k] or s
+    return mean(core)
+
+
+def extract_overheads(tracer: Tracer) -> OverheadSamples:
+    out = OverheadSamples()
+    open_trap: dict[int, int] = {}       # vm -> trap time
+    open_exec: dict[int, int] = {}
+    open_exit: dict[int, tuple[int, int, int]] = {}  # vm -> (entry, exec, end_t)
+    open_route: dict[int, int] = {}      # seq -> route start
+    route_cost: dict[int, int] = {}      # seq -> routing half
+    open_inject: dict[int, int] = {}
+
+    for e in tracer.events:
+        if e.name == "hwreq_trap" and e.info.get("hc") == int(Hc.HWTASK_REQUEST):
+            open_trap[e.info["vm"]] = e.t
+        elif e.name == "mgr_exec_start":
+            vm = e.info["vm"]
+            if vm in open_trap:
+                open_exec[vm] = e.t
+        elif e.name == "mgr_exec_end":
+            vm = e.info["vm"]
+            if vm in open_exec:
+                trap_t = open_trap.pop(vm)
+                start_t = open_exec.pop(vm)
+                open_exit[vm] = (start_t - trap_t, e.t - start_t, e.t)
+        elif e.name == "hwreq_resumed":
+            vm = e.info["vm"]
+            rec = open_exit.pop(vm, None)
+            if rec is not None:
+                entry, execution, end_t = rec
+                exit_ = e.t - end_t
+                out.entry.append(entry)
+                out.execution.append(execution)
+                out.exit.append(exit_)
+                out.total.append(entry + execution + exit_)
+        elif e.name == "plirq_route_start":
+            open_route[e.info["seq"]] = e.t
+        elif e.name == "plirq_route_end":
+            seq = e.info["seq"]
+            if seq in open_route:
+                route_cost[seq] = e.t - open_route.pop(seq)
+        elif e.name == "plirq_inject_start":
+            open_inject[e.info["seq"]] = e.t
+        elif e.name == "plirq_inject_end":
+            seq = e.info["seq"]
+            if seq in open_inject:
+                inject = e.t - open_inject.pop(seq)
+                out.plirq.append(route_cost.pop(seq, 0) + inject)
+    return out

@@ -1,0 +1,15 @@
+"""Programmable-logic (PL) side of the platform: PRRs, PRR controller with
+hwMMU, PCAP reconfiguration port, bitstream store, IP-core models."""
+
+from .bitstream import Bitstream, BitstreamStore
+from .controller import PAGE, PrrController, task_id_of
+from .ip import FftCore, IpCore, PlResources, QamCore, make_core
+from .pcap import PCAP_WINDOW_SIZE, Pcap
+from .prr import HwMmuWindow, NO_IRQ_LINE, Prr, PrrStatus
+
+__all__ = [
+    "Bitstream", "BitstreamStore", "PAGE", "PrrController", "task_id_of",
+    "FftCore", "IpCore", "PlResources", "QamCore", "make_core",
+    "PCAP_WINDOW_SIZE", "Pcap", "HwMmuWindow", "NO_IRQ_LINE", "Prr",
+    "PrrStatus",
+]

@@ -1,0 +1,72 @@
+"""Bitstream store: the ``.bit`` files of Section IV-B.
+
+Each hardware task's configuration data lives in DRAM as an opaque blob;
+Mini-NOVA maps these exclusively into the Hardware Task Manager's address
+space.  The blob contents are synthesized deterministically from the task
+name (there is obviously no real synthesis toolchain here), but they are
+*really stored* in simulated DRAM and *really streamed* by the PCAP model,
+so transfer sizes and latencies are honest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..common.errors import ConfigError
+from ..mem.phys import Bus, FrameAllocator
+from .ip import IpCore, make_core
+
+
+@dataclass(frozen=True)
+class Bitstream:
+    """One stored partial bitstream."""
+
+    task: str          # IP-core/task name ("fft1024", "qam16", ...)
+    paddr: int         # where the blob sits in DRAM
+    size: int          # bytes
+
+    def checksum(self, bus: Bus) -> str:
+        return hashlib.sha256(bus.dram.read_bytes(self.paddr, self.size)).hexdigest()
+
+
+class BitstreamStore:
+    """Loads task bitstreams into DRAM and indexes them by task name."""
+
+    def __init__(self, bus: Bus, frames: FrameAllocator) -> None:
+        self.bus = bus
+        self.frames = frames
+        self._by_task: dict[str, Bitstream] = {}
+        self._cores: dict[str, IpCore] = {}
+
+    def install(self, task: str) -> Bitstream:
+        """Synthesize + store the bitstream for ``task``; idempotent."""
+        if task in self._by_task:
+            return self._by_task[task]
+        core = make_core(task)
+        size = core.bitstream_bytes
+        paddr = self.frames.alloc(size, align=4096)
+        # Deterministic pseudo-contents so checksums are stable in tests.
+        seed = hashlib.sha256(task.encode()).digest()
+        blob = (seed * (size // len(seed) + 1))[:size]
+        self.bus.dram.write_bytes(paddr, blob)
+        bit = Bitstream(task=task, paddr=paddr, size=size)
+        self._by_task[task] = bit
+        self._cores[task] = core
+        return bit
+
+    def get(self, task: str) -> Bitstream:
+        if task not in self._by_task:
+            raise ConfigError(f"no bitstream installed for task {task!r}")
+        return self._by_task[task]
+
+    def core(self, task: str) -> IpCore:
+        if task not in self._cores:
+            raise ConfigError(f"no core for task {task!r}")
+        return self._cores[task]
+
+    def tasks(self) -> list[str]:
+        return sorted(self._by_task)
+
+    def __contains__(self, task: str) -> bool:
+        return task in self._by_task

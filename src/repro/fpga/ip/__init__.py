@@ -1,0 +1,17 @@
+"""IP-core models configured into PRRs by partial bitstreams."""
+
+from .base import IpCore, PlResources
+from .fft_core import FftCore
+from .qam_core import QamCore
+
+
+def make_core(name: str) -> IpCore:
+    """Instantiate an IP core from its task name (e.g. ``fft1024``, ``qam16``)."""
+    if name.startswith("fft"):
+        return FftCore(int(name[3:]))
+    if name.startswith("qam"):
+        return QamCore(int(name[3:]))
+    raise ValueError(f"unknown IP core {name!r}")
+
+
+__all__ = ["IpCore", "PlResources", "FftCore", "QamCore", "make_core"]

@@ -1,0 +1,60 @@
+"""Hardware-task IP core abstraction.
+
+An IP core is what a bitstream *configures into* a PRR: it has a resource
+footprint, a latency model in PL-clock cycles, and a functional ``run``
+that transforms the bytes DMA'd in into the bytes DMA'd out.  Functional
+and timing behaviour both matter: integration tests check the former
+against the :mod:`repro.dsp` golden models through the full DMA/hwMMU
+path, benches use the latter.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PlResources:
+    """FPGA resource vector (coarse: LUTs, BRAM blocks, DSP slices)."""
+
+    luts: int
+    bram: int
+    dsp: int
+
+    def fits_in(self, capacity: "PlResources") -> bool:
+        return (self.luts <= capacity.luts and self.bram <= capacity.bram
+                and self.dsp <= capacity.dsp)
+
+
+class IpCore(ABC):
+    """One configured hardware accelerator."""
+
+    #: Short unique task name, e.g. ``fft1024`` / ``qam16`` (table index
+    #: in the Hardware Task Manager).
+    name: str
+
+    @property
+    @abstractmethod
+    def resources(self) -> PlResources:
+        """Fabric resources the core occupies."""
+
+    @property
+    @abstractmethod
+    def bitstream_bytes(self) -> int:
+        """Size of the partial bitstream configuring this core."""
+
+    @abstractmethod
+    def out_len(self, in_len: int) -> int:
+        """Output byte count for an ``in_len``-byte input."""
+
+    @abstractmethod
+    def exec_fpga_cycles(self, in_len: int) -> int:
+        """Processing latency in PL-clock cycles (excluding DMA)."""
+
+    @abstractmethod
+    def run(self, data: bytes) -> bytes:
+        """Functional execution (must match the dsp golden model)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<IpCore {self.name}>"

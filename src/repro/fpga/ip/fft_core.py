@@ -1,0 +1,61 @@
+"""Streaming FFT IP-core model (radix-2 pipelined architecture).
+
+Resource footprint and bitstream size scale with the transform length, so
+the large FFTs only fit the two big PRRs — the constraint Section V of the
+paper builds its evaluation around.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...dsp import fft as fft_golden
+from .base import IpCore, PlResources
+
+#: Complex64 = 2 x float32.
+_SAMPLE_BYTES = 8
+
+
+class FftCore(IpCore):
+    """N-point streaming FFT; input/output are interleaved complex64."""
+
+    def __init__(self, n_points: int) -> None:
+        if n_points not in fft_golden.FFT_SIZES:
+            raise ValueError(f"unsupported FFT size {n_points}")
+        self.n = n_points
+        self.name = f"fft{n_points}"
+
+    @property
+    def resources(self) -> PlResources:
+        # One butterfly stage per log2 level; memory scales with N.
+        stages = self.n.bit_length() - 1
+        return PlResources(
+            luts=1500 * stages + self.n // 4,
+            bram=max(2, self.n // 512),
+            dsp=4 * stages,
+        )
+
+    @property
+    def bitstream_bytes(self) -> int:
+        # Larger regions -> larger partial bitstreams; anchored to the
+        # 300 KB..1 MB band typical of Zynq-7000 PRR bitstreams.
+        stages = self.n.bit_length() - 1
+        return 300_000 + 64_000 * (stages - 8) + self.n * 16
+
+    def out_len(self, in_len: int) -> int:
+        return (in_len // (self.n * _SAMPLE_BYTES)) * (self.n * _SAMPLE_BYTES)
+
+    def exec_fpga_cycles(self, in_len: int) -> int:
+        blocks = in_len // (self.n * _SAMPLE_BYTES)
+        stages = self.n.bit_length() - 1
+        # Pipelined: N/4 cycles per stage per block, plus fill latency.
+        return 100 + blocks * (self.n // 4) * stages
+
+    def run(self, data: bytes) -> bytes:
+        usable = self.out_len(len(data))
+        x = np.frombuffer(data[:usable], dtype=np.complex64)
+        out = np.empty_like(x)
+        for b in range(len(x) // self.n):
+            out[b * self.n:(b + 1) * self.n] = fft_golden.fft(
+                x[b * self.n:(b + 1) * self.n])
+        return out.tobytes()

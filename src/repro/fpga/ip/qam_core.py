@@ -1,0 +1,46 @@
+"""QAM mapper IP-core model.
+
+Small footprint — fits any PRR (Section V: "QAM modules have a small size
+and can be hosted in all four PRRs").  Input is a packed bit stream,
+output the Gray-mapped complex64 symbol stream.
+"""
+
+from __future__ import annotations
+
+from ...dsp import qam as qam_golden
+from .base import IpCore, PlResources
+
+_SYMBOL_BYTES = 8  # complex64
+
+
+class QamCore(IpCore):
+    """QAM-``order`` modulator (order in {4, 16, 64})."""
+
+    def __init__(self, order: int) -> None:
+        if order not in qam_golden.QAM_ORDERS:
+            raise ValueError(f"unsupported QAM order {order}")
+        self.order = order
+        self.name = f"qam{order}"
+        self._bps = qam_golden.bits_per_symbol(order)
+
+    @property
+    def resources(self) -> PlResources:
+        return PlResources(luts=800 + 100 * self._bps, bram=1, dsp=2)
+
+    @property
+    def bitstream_bytes(self) -> int:
+        return 150_000 + 4_000 * self._bps
+
+    def n_symbols(self, in_len: int) -> int:
+        return (in_len * 8) // self._bps
+
+    def out_len(self, in_len: int) -> int:
+        return self.n_symbols(in_len) * _SYMBOL_BYTES
+
+    def exec_fpga_cycles(self, in_len: int) -> int:
+        # One symbol per PL cycle, fully pipelined.
+        return 20 + self.n_symbols(in_len)
+
+    def run(self, data: bytes) -> bytes:
+        symbols = qam_golden.pack_bits_to_symbols(data, self.order)
+        return qam_golden.modulate(symbols, self.order).tobytes()

@@ -1,0 +1,114 @@
+"""PCAP (Processor Configuration Access Port) model — the DevC engine that
+streams partial bitstreams from DRAM into a PRR.
+
+One transfer at a time (the real port is single-channel); latency is
+size / throughput.  Completion raises the DevC "DONE" interrupt
+(IRQ_PCAP_DONE), which Mini-NOVA routes to the VM that launched the
+transfer (Section IV-D) — or which the guest may poll instead
+(Section IV-E stage 6 gives both options).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..common.errors import ConfigError
+from ..common.params import FpgaParams
+from ..gic.gic import Gic
+from ..gic.irqs import IRQ_PCAP_DONE
+from ..sim.engine import Simulator
+from .bitstream import Bitstream
+from .controller import PrrController
+
+# MMIO register offsets (devcfg-flavoured, simplified).
+PCAP_CTRL = 0x00
+PCAP_STATUS = 0x04     # bit0 busy, bit1 done-since-last-clear
+PCAP_SRC = 0x08
+PCAP_LEN = 0x0C
+PCAP_TARGET = 0x10     # PRR id
+PCAP_INT_EN = 0x14
+
+PCAP_WINDOW_SIZE = 0x100
+
+
+class Pcap:
+    def __init__(self, sim: Simulator, gic: Gic, controller: PrrController,
+                 params: FpgaParams, cpu_hz: int) -> None:
+        self.sim = sim
+        self.gic = gic
+        self.controller = controller
+        self.params = params
+        self.cpu_hz = cpu_hz
+        self.busy = False
+        self.done_flag = False
+        self.int_en = True
+        self.transfers = 0
+        self.bytes_moved = 0
+        #: Hook: called (prr_id, task_name) when a reconfiguration lands.
+        self.on_done: Callable[[int, str], None] | None = None
+        self._regs = {"src": 0, "len": 0, "target": 0}
+
+    # -- direct API (used by the Hardware Task Manager) --------------------
+
+    def transfer_cycles(self, size: int) -> int:
+        """CPU-cycle latency for streaming ``size`` bytes through PCAP."""
+        return -(-size * self.cpu_hz // self.params.pcap_bytes_per_sec)
+
+    def start_transfer(self, bitstream: Bitstream, prr_id: int,
+                       core_name: str | None = None) -> int:
+        """Begin a reconfiguration; returns expected latency in CPU cycles.
+
+        Raises :class:`ConfigError` if a transfer is already in flight
+        (the caller — the manager — serializes PCAP use).
+        """
+        if self.busy:
+            raise ConfigError("PCAP transfer already in progress")
+        task = core_name or bitstream.task
+        self.busy = True
+        self.done_flag = False
+        self.transfers += 1
+        self.bytes_moved += bitstream.size
+        self.controller.begin_reconfig(prr_id)
+        delay = self.transfer_cycles(bitstream.size)
+        self.sim.schedule(delay, self._complete, prr_id, task,
+                          label=f"pcap-{task}->prr{prr_id}")
+        return delay
+
+    def _complete(self, prr_id: int, task: str) -> None:
+        from .ip import make_core
+        self.controller.finish_reconfig(prr_id, make_core(task))
+        self.busy = False
+        self.done_flag = True
+        if self.int_en:
+            self.gic.assert_irq(IRQ_PCAP_DONE)
+        if self.on_done is not None:
+            self.on_done(prr_id, task)
+
+    # -- MMIO ----------------------------------------------------------------
+
+    def mmio_read(self, offset: int) -> int:
+        if offset == PCAP_STATUS:
+            return int(self.busy) | (int(self.done_flag) << 1)
+        if offset == PCAP_SRC:
+            return self._regs["src"]
+        if offset == PCAP_LEN:
+            return self._regs["len"]
+        if offset == PCAP_TARGET:
+            return self._regs["target"]
+        if offset == PCAP_INT_EN:
+            return int(self.int_en)
+        return 0
+
+    def mmio_write(self, offset: int, value: int) -> None:
+        if offset == PCAP_SRC:
+            self._regs["src"] = value
+        elif offset == PCAP_LEN:
+            self._regs["len"] = value
+        elif offset == PCAP_TARGET:
+            self._regs["target"] = value
+        elif offset == PCAP_INT_EN:
+            self.int_en = bool(value & 1)
+        elif offset == PCAP_STATUS:
+            # write-one-to-clear the done flag
+            if value & 2:
+                self.done_flag = False

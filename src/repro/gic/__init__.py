@@ -1,0 +1,20 @@
+"""Generic Interrupt Controller model and the platform IRQ map."""
+
+from .gic import GIC_WINDOW_SIZE, Gic
+from .irqs import (
+    IRQ_PCAP_DONE,
+    IRQ_PL_BASE,
+    IRQ_PRIVATE_TIMER,
+    IRQ_UART0,
+    N_IRQS,
+    N_PL_IRQS,
+    SPURIOUS_IRQ,
+    pl_irq,
+    pl_line,
+)
+
+__all__ = [
+    "GIC_WINDOW_SIZE", "Gic", "IRQ_PCAP_DONE", "IRQ_PL_BASE",
+    "IRQ_PRIVATE_TIMER", "IRQ_UART0", "N_IRQS", "N_PL_IRQS", "SPURIOUS_IRQ",
+    "pl_irq", "pl_line",
+]

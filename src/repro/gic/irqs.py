@@ -1,0 +1,41 @@
+"""Interrupt ID map of the modelled platform (Zynq-7000-flavoured).
+
+IDs follow the GIC convention: 0-15 SGIs, 16-31 PPIs, 32+ SPIs.  The PL
+fabric owns 16 lines (PL_IRQ[15:0], paper Section IV-D) which we place at
+61..76; the DevC/PCAP completion interrupt sits at its real Zynq ID (40).
+"""
+
+from __future__ import annotations
+
+#: Total interrupt IDs the distributor tracks.
+N_IRQS = 96
+
+#: Private timer (per-core PPI on the real MPCore).
+IRQ_PRIVATE_TIMER = 29
+
+#: DevC / PCAP "configuration DONE" interrupt (Zynq SPI #40).
+IRQ_PCAP_DONE = 40
+
+#: UART0 (used by the console model).
+IRQ_UART0 = 59
+
+#: First of the 16 PL-to-PS lines reserved for hardware tasks.
+IRQ_PL_BASE = 61
+N_PL_IRQS = 16
+
+#: Read of ICCIAR when nothing is pending.
+SPURIOUS_IRQ = 1023
+
+
+def pl_irq(line: int) -> int:
+    """GIC ID of PL_IRQ[line]."""
+    if not 0 <= line < N_PL_IRQS:
+        raise ValueError(f"PL IRQ line {line} out of range")
+    return IRQ_PL_BASE + line
+
+
+def pl_line(irq_id: int) -> int | None:
+    """Inverse of :func:`pl_irq`; None when the ID is not a PL line."""
+    if IRQ_PL_BASE <= irq_id < IRQ_PL_BASE + N_PL_IRQS:
+        return irq_id - IRQ_PL_BASE
+    return None

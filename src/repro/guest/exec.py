@@ -1,0 +1,67 @@
+"""Guest execution helper: timed code blocks and sampled bulk memory traffic.
+
+Workload tasks execute millions of instructions; tracing every access is
+prohibitive, so :meth:`GuestExecutor.bulk` drives a 1/``bulk_sample``
+subsample of the task's memory stream through the *real* MMU/TLB/cache
+models — polluting them exactly like a real working set — and extrapolates
+the stream's total memory latency from the sampled mean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.rng import make_rng
+from ..cpu.core import Cpu
+
+
+class GuestExecutor:
+    """Bound to one guest (its address base and RNG stream)."""
+
+    def __init__(self, cpu: Cpu, *, addr_base: int = 0, seed: int | None = None,
+                 stream: str = "guest") -> None:
+        self.cpu = cpu
+        self.addr_base = addr_base
+        self.rng = make_rng(seed, stream=stream)
+        self.sample = cpu.params.bulk_sample
+        self._line = cpu.params.l1d.line
+
+    def code(self, va: int, n_instr: int) -> None:
+        """Timed straight-line code at a guest address."""
+        self.cpu.code(self.addr_base + va, n_instr)
+
+    def bulk(self, instrs: int, mem_accesses: int,
+             regions: tuple[tuple[int, int], ...],
+             write_frac: float = 0.3) -> None:
+        """One workload chunk: issue cost + sampled memory stream.
+
+        The sampled addresses mix sequential runs (2/3) with uniform
+        accesses (1/3) across the regions, approximating the locality of
+        DSP inner loops over their buffers.
+        """
+        cpu = self.cpu
+        cpu.instr(instrs)
+        if mem_accesses <= 0 or not regions:
+            return
+        n_sample = max(1, mem_accesses // self.sample)
+        vaddrs = self._gen_addrs(n_sample, regions)
+        writes = self.rng.random(n_sample) < write_frac
+        extra = cpu.mem.sample_block(
+            vaddrs, write_mask=writes, privileged=cpu.privileged,
+            scale=max(1, mem_accesses // n_sample))
+        # sample_block returns extrapolated latency for the whole stream.
+        cpu._charge(extra)
+
+    def _gen_addrs(self, n: int, regions: tuple[tuple[int, int], ...]) -> np.ndarray:
+        rng = self.rng
+        # Pick a region per sample, weighted by size.
+        bases = np.array([self.addr_base + b for b, _ in regions], dtype=np.int64)
+        sizes = np.array([s for _, s in regions], dtype=np.int64)
+        weights = sizes / sizes.sum()
+        region_idx = rng.choice(len(regions), size=n, p=weights)
+        offsets = (rng.random(n) * (sizes[region_idx] - self._line)).astype(np.int64)
+        # Sequential bias: walk 2 of every 3 samples forward a line.
+        seq = rng.integers(0, 3, size=n) != 0
+        offsets = np.where(seq, (offsets // self._line) * self._line,
+                           offsets & ~np.int64(3))
+        return bases[region_idx] + offsets

@@ -1,0 +1,72 @@
+"""A small general-purpose OS personality (the paper's 'high-level generic
+OS' of the mixed-criticality motivation).
+
+Reuses the entire guest infrastructure — actions, executor, ports, the
+Mini-NOVA runner — but replaces uC/OS-II's strict-priority scheduling with
+fair time-sharing: ready processes round-robin on a tick-based time slice,
+so a compute-bound process cannot starve the others.  This is what rides
+in the low-priority VMs next to an RTOS VM (see
+``examples/mixed_criticality.py`` and the paper's introduction).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from ..common.errors import GuestPanic
+from .ucos import IDLE_PRIO, TaskState, Tcb, Ucos
+
+
+class Gpos(Ucos):
+    """Fair time-sharing OS on the uC/OS guest substrate.
+
+    Priorities still exist internally (the TCB store is keyed by them) but
+    do not drive dispatch; they are assigned automatically in creation
+    order.  Each process runs for ``slice_ticks`` OS ticks before the
+    scheduler rotates to the next ready process.
+    """
+
+    def __init__(self, name: str, *, tick_hz: int = 100,
+                 slice_ticks: int = 2) -> None:
+        super().__init__(name, tick_hz=tick_hz)
+        self.slice_ticks = slice_ticks
+        self._rr: list[Tcb] = []
+        self._slice_left = slice_ticks
+        self.rotations = 0
+
+    # -- process management ---------------------------------------------------
+
+    def create_process(self, name: str,
+                       fn: Callable[["Ucos"], Generator]) -> Tcb:
+        """Spawn a process; the internal priority slot is auto-assigned."""
+        for prio in range(IDLE_PRIO):
+            if prio not in self.tasks:
+                tcb = self.create_task(name, prio, fn)
+                self._rr.append(tcb)
+                return tcb
+        raise GuestPanic("process table full")
+
+    # -- fair dispatch ----------------------------------------------------------
+
+    def highest_ready(self) -> Tcb | None:
+        """Round-robin among READY processes; idle only when none are."""
+        if not self._rr:
+            return self.tasks.get(IDLE_PRIO)
+        for _ in range(len(self._rr)):
+            tcb = self._rr[0]
+            if tcb.state is TaskState.DONE:
+                self._rr.pop(0)
+                continue
+            if tcb.state is TaskState.READY:
+                return tcb
+            self._rr.append(self._rr.pop(0))     # blocked: try the next
+        return self.tasks.get(IDLE_PRIO)
+
+    def _on_tick(self) -> None:
+        super()._on_tick()
+        self._slice_left -= 1
+        if self._slice_left <= 0:
+            self._slice_left = self.slice_ticks
+            if len(self._rr) > 1:
+                self._rr.append(self._rr.pop(0))
+                self.rotations += 1

@@ -1,0 +1,6 @@
+"""uC/OS-II ports: native (bare-metal baseline) and paravirtualized."""
+
+from .native import NativeSystem
+from .paravirt import ParavirtUcos
+
+__all__ = ["NativeSystem", "ParavirtUcos"]

@@ -1,0 +1,13 @@
+"""Hardware Task Manager: allocation core, tables, and the user-level
+service PD of the virtualized system (the native port lives in
+:mod:`repro.guest.ports.native`)."""
+
+from .alloc import AllocRequest, AllocResult, Allocator, ManagerPort
+from .service import ManagerService
+from .tables import HardwareTaskTable, HwTaskEntry, PrrRow, PrrTable
+
+__all__ = [
+    "AllocRequest", "AllocResult", "Allocator", "ManagerPort",
+    "ManagerService", "HardwareTaskTable", "HwTaskEntry", "PrrRow",
+    "PrrTable",
+]

@@ -1,0 +1,5 @@
+"""Supervised shared-I/O device models (UART console)."""
+
+from .uart import UART_FIFO, UART_SR, UART_WINDOW_SIZE, Uart
+
+__all__ = ["UART_FIFO", "UART_SR", "UART_WINDOW_SIZE", "Uart"]

@@ -1,0 +1,33 @@
+"""Mini-NOVA microkernel: vCPU, protection domains, vGIC, scheduler,
+hypercalls, memory manager, IVC, and the dispatch core."""
+
+from .core import KernelConfig, MiniNova
+from .costs import KERNEL_COSTS, MANAGER_COSTS, KernelCosts, ManagerCosts
+from .exits import (
+    DomainRunner,
+    ExitFault,
+    ExitHypercall,
+    ExitIdle,
+    ExitShutdown,
+    GuestExit,
+)
+from .hypercalls import Hc, HcStatus, PUBLIC_HYPERCALLS, UCOS_HYPERCALLS
+from .ivc import IVC_IRQ, IvcRouter, Mailbox
+from .memory import DACR_GUEST_KERNEL, DACR_GUEST_USER, DACR_HOST, KernelMemory
+from .pd import HwDataSection, PdState, ProtectionDomain
+from .sched import Scheduler
+from .trace import TraceEvent, Tracer
+from .vcpu import Vcpu, VTimerState
+from .vgic import VGic, VIrqState
+from . import layout
+
+__all__ = [
+    "KernelConfig", "MiniNova", "KERNEL_COSTS", "MANAGER_COSTS",
+    "KernelCosts", "ManagerCosts", "DomainRunner", "ExitFault",
+    "ExitHypercall", "ExitIdle", "ExitShutdown", "GuestExit", "Hc",
+    "HcStatus", "PUBLIC_HYPERCALLS", "UCOS_HYPERCALLS", "IVC_IRQ",
+    "IvcRouter", "Mailbox", "DACR_GUEST_KERNEL", "DACR_GUEST_USER",
+    "DACR_HOST", "KernelMemory", "HwDataSection", "PdState",
+    "ProtectionDomain", "Scheduler", "TraceEvent", "Tracer", "Vcpu",
+    "VTimerState", "VGic", "VIrqState", "layout",
+]

@@ -1,0 +1,141 @@
+"""Kernel memory manager: address-space construction and the DACR trick.
+
+Responsibilities (Section III-C):
+
+* build the kernel's boot address space and one page table per VM;
+* keep the kernel image + device windows present (privileged-only, global)
+  in *every* space, so traps never reload TTBR;
+* implement Table II: guest kernel and guest user share ARM's PL0, so they
+  are separated by *domains* — the guest-kernel domain is flipped between
+  ``client`` and ``no-access`` in DACR as the guest's virtual privilege
+  level changes, with no page-table edit and no TLB flush;
+* map/unmap PRR interface pages (the 4 KB register groups) into exactly
+  one client VM at a time (Section IV-C).
+"""
+
+from __future__ import annotations
+
+from ..common.errors import ConfigError
+from ..machine import GIC_BASE, PCAP_BASE, UART_BASE, Machine
+from ..mem.descriptors import AP, DomainType, PAGE_SIZE, SECTION_SIZE, dacr_set
+from ..mem.ptables import PageTable
+from . import layout as L
+from .pd import ProtectionDomain
+
+
+def _dacr(hk: DomainType, gk: DomainType, gu: DomainType) -> int:
+    d = 0
+    d = dacr_set(d, L.DOMAIN_HK, hk)
+    d = dacr_set(d, L.DOMAIN_GK, gk)
+    d = dacr_set(d, L.DOMAIN_GU, gu)
+    return d
+
+
+#: DACR while the microkernel (or a guest's *kernel*) has the full view.
+DACR_HOST = _dacr(DomainType.CLIENT, DomainType.CLIENT, DomainType.CLIENT)
+DACR_GUEST_KERNEL = DACR_HOST
+#: DACR while guest *user* code runs: the guest-kernel domain disappears.
+DACR_GUEST_USER = _dacr(DomainType.CLIENT, DomainType.NO_ACCESS, DomainType.CLIENT)
+
+
+class KernelMemory:
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.mem = machine.mem
+        self._next_asid = 1
+        self.kernel_pt = self._build_kernel_space()
+
+    # -- space construction ----------------------------------------------------
+
+    def _map_common(self, pt: PageTable) -> None:
+        """Kernel image + device windows, present in every address space."""
+        # Kernel image/data/stack: one 1 MB section, privileged, global.
+        pt.map_section(L.KERNEL_BASE, L.KERNEL_BASE, ap=AP.PRIV_ONLY,
+                       domain=L.DOMAIN_HK, ng=False)
+        # Kernel linear map of low DRAM (kernel objects, mailboxes, guest
+        # memory reachable from any space).
+        for off in range(0, L.KERNEL_LINEAR_SIZE, SECTION_SIZE):
+            pt.map_section(L.KERNEL_LINEAR_BASE + off, L.KERNEL_BASE + off,
+                           ap=AP.PRIV_ONLY, domain=L.DOMAIN_HK, ng=False)
+        # Device windows (GIC+timers share one MB; PCAP another; PRR regs).
+        for base in (GIC_BASE & ~(SECTION_SIZE - 1),
+                     PCAP_BASE & ~(SECTION_SIZE - 1),
+                     UART_BASE & ~(SECTION_SIZE - 1),
+                     self.machine.params.memmap.prr_reg_base):
+            pt.map_section(base, base, ap=AP.PRIV_ONLY, domain=L.DOMAIN_HK,
+                           ng=False)
+
+    def _build_kernel_space(self) -> PageTable:
+        pt = PageTable(self.mem.bus, self.mem.kernel_frames, name="kernel")
+        self._map_common(pt)
+        return pt
+
+    def alloc_asid(self) -> int:
+        if self._next_asid > 255:
+            raise ConfigError("out of ASIDs")
+        asid, self._next_asid = self._next_asid, self._next_asid + 1
+        return asid
+
+    def build_guest_space(self, name: str, phys_base: int) -> PageTable:
+        """Per-VM table: guest regions linearly mapped onto the VM's chunk."""
+        pt = PageTable(self.mem.bus, self.mem.kernel_frames, name=f"vm-{name}")
+        self._map_common(pt)
+        # MB 0: guest kernel code+data as 4 KB pages, guest-kernel domain.
+        for region, size in ((L.GUEST_KERNEL_CODE, L.GUEST_KERNEL_CODE_SIZE),
+                             (L.GUEST_KERNEL_DATA, L.GUEST_KERNEL_DATA_SIZE)):
+            for off in range(0, size, PAGE_SIZE):
+                va = region + off
+                pt.map_page(va, phys_base + va, ap=AP.FULL,
+                            domain=L.DOMAIN_GK)
+        # Guest user space: 1 MB sections, guest-user domain.
+        for off in range(0, L.GUEST_USER_SIZE, SECTION_SIZE):
+            va = L.GUEST_USER_BASE + off
+            pt.map_section(va, phys_base + va, ap=AP.FULL, domain=L.DOMAIN_GU)
+        # Hardware-task data section region (1 MB covers the 512 KB grant).
+        pt.map_section(L.GUEST_HWDATA_VA, phys_base + L.GUEST_HWDATA_VA,
+                       ap=AP.FULL, domain=L.DOMAIN_GU)
+        return pt
+
+    def build_manager_space(self, phys_base: int) -> PageTable:
+        """The Hardware Task Manager's own space: its image, the bitstream
+        store (exclusively mapped here, Section IV-B), every PRR register
+        group, the control page, and the PCAP window."""
+        pt = PageTable(self.mem.bus, self.mem.kernel_frames, name="manager")
+        self._map_common(pt)
+        for region, size in ((L.MANAGER_CODE_VA, L.MANAGER_CODE_SIZE),
+                             (L.MANAGER_DATA_VA, L.MANAGER_DATA_SIZE)):
+            for off in range(0, size, PAGE_SIZE):
+                va = region + off
+                pt.map_page(va, phys_base + va, ap=AP.FULL, domain=L.DOMAIN_GU)
+        # PRR register groups + control page at their physical addresses.
+        n = len(self.machine.prrs)
+        for i in range(n + 1):
+            pa = self.machine.params.memmap.prr_reg_base + i * PAGE_SIZE
+            pt.map_page(L.GUEST_PRR_IFACE_VA + i * PAGE_SIZE if i < n
+                        else L.MANAGER_CTL_VA, pa, ap=AP.FULL,
+                        domain=L.DOMAIN_GU)
+        # PCAP window.
+        pt.map_page(L.MANAGER_CTL_VA + PAGE_SIZE,
+                    PCAP_BASE & ~(PAGE_SIZE - 1), ap=AP.FULL,
+                    domain=L.DOMAIN_GU)
+        return pt
+
+    # -- PRR interface page exclusivity (Section IV-C) ---------------------------
+
+    def map_prr_iface(self, pd: ProtectionDomain, prr_id: int, va: int) -> None:
+        """Grant ``pd`` the PRR's register group at guest VA ``va``."""
+        if prr_id in pd.prr_iface:
+            raise ConfigError(f"PRR{prr_id} already mapped in {pd.name}")
+        pa = self.machine.prr_reg_page_paddr(prr_id)
+        pd.page_table.map_page(va, pa, ap=AP.FULL, domain=L.DOMAIN_GU)
+        pd.prr_iface[prr_id] = va
+
+    def unmap_prr_iface(self, pd: ProtectionDomain, prr_id: int) -> int:
+        """Revoke the mapping; returns the VA it was at.  The caller must
+        also flush the TLB entry (timed, via the kernel path)."""
+        va = pd.prr_iface.pop(prr_id, None)
+        if va is None:
+            raise ConfigError(f"PRR{prr_id} not mapped in {pd.name}")
+        pd.page_table.unmap_page(va)
+        self.mem.mmu.tlb.flush_va(va >> 12, pd.asid)
+        return va

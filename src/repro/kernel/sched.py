@@ -1,0 +1,113 @@
+"""Preemptive priority-based round-robin scheduler (Section III-D, Fig. 3).
+
+Domains live in either the *run queue* (a circular deque per priority
+level — the paper's double-linked circles) or the *suspend queue*.  The
+scheduler always dispatches the highest-priority runnable PD; same-level
+PDs round-robin with a fixed time quantum, and a preempted PD keeps its
+remaining quantum so its total slice stays constant.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..common.errors import SimulationError
+from .pd import PdState, ProtectionDomain
+
+
+class Scheduler:
+    def __init__(self, quantum_cycles: int, n_priorities: int = 8) -> None:
+        self.quantum_cycles = quantum_cycles
+        self.n_priorities = n_priorities
+        self._run: list[deque[ProtectionDomain]] = [deque() for _ in range(n_priorities)]
+        self._suspended: set[ProtectionDomain] = set()
+        self.preemptions = 0
+        self.rotations = 0
+
+    # -- queue management -----------------------------------------------------
+
+    def add(self, pd: ProtectionDomain, *, runnable: bool = True) -> None:
+        if not 0 <= pd.priority < self.n_priorities:
+            raise SimulationError(f"priority {pd.priority} out of range")
+        if pd.quantum_remaining <= 0:
+            pd.quantum_remaining = self.quantum_cycles
+        if runnable:
+            pd.state = PdState.RUN
+            self._run[pd.priority].append(pd)
+        else:
+            pd.state = PdState.SUSPENDED
+            self._suspended.add(pd)
+
+    def suspend(self, pd: ProtectionDomain) -> None:
+        """Move a PD to the suspend queue (e.g. the manager parking itself)."""
+        if pd.state is PdState.RUN:
+            try:
+                self._run[pd.priority].remove(pd)
+            except ValueError:
+                pass
+        pd.state = PdState.SUSPENDED
+        self._suspended.add(pd)
+
+    def resume(self, pd: ProtectionDomain, *, front: bool = True) -> None:
+        """Move a PD from the suspend queue back into its level's circle.
+
+        Services resume at the *front* (with a higher priority level they
+        preempt guests immediately, Section IV-E); ``front=False`` models
+        the ablation where the manager takes a normal turn instead.
+        """
+        if pd.state is PdState.RUN:
+            return
+        self._suspended.discard(pd)
+        pd.state = PdState.RUN
+        if pd.quantum_remaining <= 0:
+            pd.quantum_remaining = self.quantum_cycles
+        if front:
+            self._run[pd.priority].appendleft(pd)
+        else:
+            self._run[pd.priority].append(pd)
+
+    def remove(self, pd: ProtectionDomain) -> None:
+        if pd.state is PdState.RUN:
+            try:
+                self._run[pd.priority].remove(pd)
+            except ValueError:
+                pass
+        self._suspended.discard(pd)
+        pd.state = PdState.DEAD
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def pick(self) -> ProtectionDomain | None:
+        """Highest-priority runnable PD (no state change)."""
+        for level in range(self.n_priorities - 1, -1, -1):
+            if self._run[level]:
+                return self._run[level][0]
+        return None
+
+    def quantum_expired(self, pd: ProtectionDomain) -> None:
+        """Rotate ``pd`` to the back of its circle and refill its slice."""
+        q = self._run[pd.priority]
+        if q and q[0] is pd:
+            q.rotate(-1)
+            self.rotations += 1
+        pd.quantum_remaining = self.quantum_cycles
+
+    def charge(self, pd: ProtectionDomain, cycles: int) -> None:
+        """Consume quantum; at the preemption point the kernel saves the
+        remaining time so the PD's total slice is preserved."""
+        pd.quantum_remaining = max(0, pd.quantum_remaining - cycles)
+
+    def note_preemption(self) -> None:
+        self.preemptions += 1
+
+    # -- introspection ------------------------------------------------------------
+
+    def runnable_count(self) -> int:
+        return sum(len(q) for q in self._run)
+
+    def run_queue_at(self, priority: int) -> list[ProtectionDomain]:
+        return list(self._run[priority])
+
+    @property
+    def suspended(self) -> set[ProtectionDomain]:
+        return set(self._suspended)

@@ -1,0 +1,99 @@
+"""Virtual GIC: the per-VM interrupt state of Fig. 2.
+
+Each VM's vGIC keeps a record list indexed by IRQ source number with the
+virtual state of that IRQ (enabled / pending / active), plus the VM's
+registered IRQ entry point.  The physical GIC only ever reflects the
+*running* VM's enabled set: on every VM switch the kernel masks the
+predecessor's IRQs and unmasks the successor's (enabled ones only).
+IRQs that fire while their VM is inactive stay pending in the vGIC and
+are delivered when the VM is next scheduled (Section IV-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class VIrqState:
+    """One entry of the vIRQ record list."""
+
+    irq_id: int
+    enabled: bool = True
+    pending: bool = False
+    #: Virtual state word the guest manages locally (paper: "it is the
+    #: guest OS' responsibility to manage its own vIRQ state").
+    guest_word: int = 0
+
+
+@dataclass
+class VGic:
+    """Per-VM virtual interrupt controller."""
+
+    vm_id: int
+    #: Guest virtual address of the VM's IRQ handler entry.
+    irq_entry_va: int = 0
+    irqs: dict[int, VIrqState] = field(default_factory=dict)
+    #: Delivery order for pending vIRQs (FIFO).
+    _pending_fifo: list[int] = field(default_factory=list)
+    injected: int = 0
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, irq_id: int, *, enabled: bool = True) -> VIrqState:
+        """Add ``irq_id`` to the VM's record list (idempotent)."""
+        st = self.irqs.get(irq_id)
+        if st is None:
+            st = VIrqState(irq_id=irq_id, enabled=enabled)
+            self.irqs[irq_id] = st
+        else:
+            st.enabled = enabled
+        return st
+
+    def unregister(self, irq_id: int) -> None:
+        self.irqs.pop(irq_id, None)
+        if irq_id in self._pending_fifo:
+            self._pending_fifo.remove(irq_id)
+
+    def set_enabled(self, irq_id: int, on: bool) -> None:
+        if irq_id in self.irqs:
+            self.irqs[irq_id].enabled = on
+
+    def owns(self, irq_id: int) -> bool:
+        return irq_id in self.irqs
+
+    # -- pend / deliver -------------------------------------------------------
+
+    def pend(self, irq_id: int) -> None:
+        """Mark a vIRQ pending (IRQ arrived; VM may or may not be running)."""
+        st = self.irqs.get(irq_id)
+        if st is None or not st.enabled:
+            return
+        if not st.pending:
+            st.pending = True
+            self._pending_fifo.append(irq_id)
+
+    def next_pending(self) -> int | None:
+        """Peek the next deliverable vIRQ."""
+        for irq_id in self._pending_fifo:
+            if self.irqs[irq_id].enabled:
+                return irq_id
+        return None
+
+    def take(self, irq_id: int) -> None:
+        """Consume a pending vIRQ at injection time."""
+        st = self.irqs[irq_id]
+        st.pending = False
+        self._pending_fifo.remove(irq_id)
+        self.injected += 1
+
+    def has_pending(self) -> bool:
+        return self.next_pending() is not None
+
+    # -- physical-GIC shadowing (VM switch) -----------------------------------
+
+    def enabled_irqs(self) -> list[int]:
+        return sorted(i for i, st in self.irqs.items() if st.enabled)
+
+    def all_irqs(self) -> list[int]:
+        return sorted(self.irqs)

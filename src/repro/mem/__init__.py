@@ -1,0 +1,29 @@
+"""Memory subsystem: physical memory/bus, page tables, TLB, MMU, facade."""
+
+from .descriptors import (
+    AP,
+    DomainType,
+    L1Type,
+    PAGE_SIZE,
+    SECTION_SIZE,
+    dacr_get,
+    dacr_set,
+    decode_l1,
+    decode_l2,
+    encode_l1_page_table,
+    encode_l1_section,
+    encode_l2_small_page,
+)
+from .mmu import Mmu
+from .phys import Bus, Dram, FrameAllocator, MmioDevice
+from .ptables import PageTable
+from .system import MemorySystem
+from .tlb import Tlb, TlbEntry, TlbStats
+
+__all__ = [
+    "AP", "DomainType", "L1Type", "PAGE_SIZE", "SECTION_SIZE",
+    "dacr_get", "dacr_set", "decode_l1", "decode_l2",
+    "encode_l1_page_table", "encode_l1_section", "encode_l2_small_page",
+    "Mmu", "Bus", "Dram", "FrameAllocator", "MmioDevice", "PageTable",
+    "MemorySystem", "Tlb", "TlbEntry", "TlbStats",
+]

@@ -1,0 +1,156 @@
+"""ARMv7 short-descriptor page-table entry encode/decode + DACR helpers.
+
+A faithful (if simplified: no TEX/cacheability attribute bits, AP modelled
+as the classic AP[1:0] field) implementation of the two-level translation
+scheme the paper relies on:
+
+* L1 table: 4096 word entries, one per 1 MB of virtual space; an entry is
+  a *fault*, a 1 MB *section*, or a pointer to an L2 *page table*.
+* L2 table: 256 word entries, one per 4 KB *small page*.
+* Each mapping carries an access-permission field (AP) and, at L1 level,
+  one of 16 *domains*; the Domain Access Control Register decides whether
+  the AP field is even consulted (Table II of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from ..common.errors import ConfigError
+
+L1_ENTRIES = 4096
+L2_ENTRIES = 256
+L1_TABLE_BYTES = L1_ENTRIES * 4
+L2_TABLE_BYTES = L2_ENTRIES * 4
+
+SECTION_SIZE = 1 << 20
+PAGE_SIZE = 1 << 12
+
+
+class AP(IntEnum):
+    """Access permissions (AP[1:0]); checked only for *client* domains."""
+
+    NONE = 0          # no access from any level
+    PRIV_ONLY = 1     # PL1 read/write, PL0 none
+    PRIV_RW_USER_RO = 2
+    FULL = 3          # PL1 and PL0 read/write
+
+
+class DomainType(IntEnum):
+    """DACR field values per domain."""
+
+    NO_ACCESS = 0b00  # any access generates a domain fault
+    CLIENT = 0b01     # accesses checked against the AP bits
+    MANAGER = 0b11    # accesses never checked (use with care)
+
+
+class L1Type(IntEnum):
+    FAULT = 0b00
+    PAGE_TABLE = 0b01
+    SECTION = 0b10
+
+
+def l1_index(vaddr: int) -> int:
+    return (vaddr >> 20) & 0xFFF
+
+
+def l2_index(vaddr: int) -> int:
+    return (vaddr >> 12) & 0xFF
+
+
+# -- encoding ------------------------------------------------------------
+
+def encode_l1_section(paddr: int, *, ap: AP, domain: int, ng: bool = True) -> int:
+    """1 MB section descriptor. ``ng`` = non-global (ASID-tagged in TLB)."""
+    if paddr & (SECTION_SIZE - 1):
+        raise ConfigError(f"section base {paddr:#x} not 1MB aligned")
+    if not 0 <= domain < 16:
+        raise ConfigError(f"domain {domain} out of range")
+    return (paddr & 0xFFF0_0000) | (int(ng) << 17) | (int(ap) << 10) \
+        | ((domain & 0xF) << 5) | int(L1Type.SECTION)
+
+
+def encode_l1_page_table(l2_base: int, *, domain: int) -> int:
+    """Pointer to an L2 table (which must be 1 KB aligned)."""
+    if l2_base & 0x3FF:
+        raise ConfigError(f"L2 table base {l2_base:#x} not 1KB aligned")
+    if not 0 <= domain < 16:
+        raise ConfigError(f"domain {domain} out of range")
+    return (l2_base & 0xFFFF_FC00) | ((domain & 0xF) << 5) | int(L1Type.PAGE_TABLE)
+
+
+def encode_l2_small_page(paddr: int, *, ap: AP, ng: bool = True) -> int:
+    """4 KB small-page descriptor."""
+    if paddr & (PAGE_SIZE - 1):
+        raise ConfigError(f"page base {paddr:#x} not 4KB aligned")
+    return (paddr & 0xFFFF_F000) | (int(ng) << 11) | (int(ap) << 4) | 0b10
+
+
+L1_FAULT = 0
+L2_FAULT = 0
+
+
+# -- decoding ------------------------------------------------------------
+
+@dataclass(frozen=True)
+class L1Entry:
+    kind: L1Type
+    base: int = 0          # section base or L2 table base
+    ap: AP = AP.NONE       # sections only
+    domain: int = 0
+    ng: bool = True
+
+
+@dataclass(frozen=True)
+class L2Entry:
+    valid: bool
+    base: int = 0
+    ap: AP = AP.NONE
+    ng: bool = True
+
+
+def decode_l1(word: int) -> L1Entry:
+    kind = word & 0b11
+    if kind == L1Type.SECTION:
+        return L1Entry(
+            L1Type.SECTION,
+            base=word & 0xFFF0_0000,
+            ap=AP((word >> 10) & 0b11),
+            domain=(word >> 5) & 0xF,
+            ng=bool((word >> 17) & 1),
+        )
+    if kind == L1Type.PAGE_TABLE:
+        return L1Entry(
+            L1Type.PAGE_TABLE,
+            base=word & 0xFFFF_FC00,
+            domain=(word >> 5) & 0xF,
+        )
+    return L1Entry(L1Type.FAULT)
+
+
+def decode_l2(word: int) -> L2Entry:
+    if word & 0b10:
+        return L2Entry(
+            True,
+            base=word & 0xFFFF_F000,
+            ap=AP((word >> 4) & 0b11),
+            ng=bool((word >> 11) & 1),
+        )
+    return L2Entry(False)
+
+
+# -- DACR ------------------------------------------------------------------
+
+def dacr_set(dacr: int, domain: int, dtype: DomainType) -> int:
+    """Return ``dacr`` with ``domain``'s 2-bit field replaced."""
+    if not 0 <= domain < 16:
+        raise ConfigError(f"domain {domain} out of range")
+    shift = domain * 2
+    return (dacr & ~(0b11 << shift)) | (int(dtype) << shift)
+
+
+def dacr_get(dacr: int, domain: int) -> DomainType:
+    raw = (dacr >> (domain * 2)) & 0b11
+    # 0b10 is reserved in the architecture; treat as NO_ACCESS.
+    return DomainType(raw) if raw in (0, 1, 3) else DomainType.NO_ACCESS

@@ -1,0 +1,148 @@
+"""Functional + timed MMU: 2-level walks, DACR domain checks, AP checks.
+
+The permission pipeline follows the architecture (and Table II): a TLB hit
+or page walk yields (pfn, AP, domain); the *current* DACR value then
+decides whether the AP field is consulted at all.  Because DACR is checked
+at access time and is not cached in the TLB, Mini-NOVA can flip a guest
+between kernel-view and user-view by rewriting DACR alone — no TLB flush —
+which is exactly the paper's Section III-C trick.
+"""
+
+from __future__ import annotations
+
+from ..cache.hierarchy import AccessKind, CacheHierarchy
+from ..common.errors import DataAbort, PrefetchAbort
+from ..common.params import TlbParams
+from .descriptors import (
+    AP,
+    DomainType,
+    L1Type,
+    dacr_get,
+    decode_l1,
+    decode_l2,
+    l1_index,
+    l2_index,
+)
+from .phys import Bus
+from .tlb import Tlb, TlbEntry
+
+
+class Mmu:
+    """One MMU instance (the platform is modelled with a single active core)."""
+
+    def __init__(self, bus: Bus, caches: CacheHierarchy, tlb_params: TlbParams) -> None:
+        self.bus = bus
+        self.caches = caches
+        self.tlb = Tlb(tlb_params)
+        self.enabled = False
+        self.ttbr = 0
+        self.dacr = 0
+        self.asid = 0
+        #: Walks performed (the paper's TLB-pressure story shows up here).
+        self.walks = 0
+
+    # -- register interface (privileged; reached via CP15 or hypercalls) --
+
+    def set_ttbr(self, ttbr: int) -> None:
+        self.ttbr = ttbr & 0xFFFF_C000
+
+    def set_dacr(self, dacr: int) -> None:
+        self.dacr = dacr & 0xFFFF_FFFF
+
+    def set_asid(self, asid: int) -> None:
+        self.asid = asid & 0xFF
+
+    # -- translation -------------------------------------------------------
+
+    def translate(self, vaddr: int, *, privileged: bool, write: bool,
+                  fetch: bool = False) -> tuple[int, int]:
+        """Translate ``vaddr``; returns ``(paddr, latency_cycles)``.
+
+        Raises :class:`DataAbort` / :class:`PrefetchAbort` on translation,
+        domain or permission faults (with ``.cycles`` attached for the walk
+        cost already paid).
+        """
+        if not self.enabled:
+            return vaddr, 0
+
+        vpn = vaddr >> 12
+        entry = self.tlb.lookup(vpn, self.asid)
+        cycles = 0
+        if entry is None:
+            entry, cycles = self._walk(vaddr, fetch=fetch, write=write)
+            self.tlb.insert(entry)
+
+        self._check(vaddr, entry, privileged=privileged, write=write,
+                    fetch=fetch, cycles=cycles)
+        return entry.pfn << 12 | (vaddr & 0xFFF), cycles
+
+    def probe(self, vaddr: int) -> TlbEntry | None:
+        """Walk without timing/permission side effects (diagnostics only)."""
+        try:
+            entry, _ = self._walk(vaddr, fetch=False, write=False, timed=False)
+            return entry
+        except (DataAbort, PrefetchAbort):
+            return None
+
+    # -- internals -----------------------------------------------------------
+
+    def _fault(self, vaddr: int, reason: str, *, fetch: bool, write: bool,
+               cycles: int):
+        exc: DataAbort | PrefetchAbort
+        if fetch:
+            exc = PrefetchAbort(vaddr, reason)
+        else:
+            exc = DataAbort(vaddr, reason, write=write)
+        exc.cycles = cycles  # type: ignore[attr-defined]
+        raise exc
+
+    def _walk(self, vaddr: int, *, fetch: bool, write: bool,
+              timed: bool = True) -> tuple[TlbEntry, int]:
+        cycles = 0
+        self.walks += timed
+        l1_addr = self.ttbr + l1_index(vaddr) * 4
+        if timed:
+            cycles += self.caches.access(l1_addr, kind=AccessKind.WALK)
+        l1 = decode_l1(self.bus.read32(l1_addr))
+
+        if l1.kind == L1Type.FAULT:
+            self._fault(vaddr, "translation fault (L1)", fetch=fetch,
+                        write=write, cycles=cycles)
+        if l1.kind == L1Type.SECTION:
+            pfn = (l1.base >> 12) + ((vaddr >> 12) & 0xFF)
+            return TlbEntry(vpn=vaddr >> 12, pfn=pfn, asid=self.asid,
+                            ap=l1.ap, domain=l1.domain,
+                            global_=not l1.ng), cycles
+
+        l2_addr = l1.base + l2_index(vaddr) * 4
+        if timed:
+            cycles += self.caches.access(l2_addr, kind=AccessKind.WALK)
+        l2 = decode_l2(self.bus.read32(l2_addr))
+        if not l2.valid:
+            self._fault(vaddr, "translation fault (L2)", fetch=fetch,
+                        write=write, cycles=cycles)
+        return TlbEntry(vpn=vaddr >> 12, pfn=l2.base >> 12, asid=self.asid,
+                        ap=l2.ap, domain=l1.domain,
+                        global_=not l2.ng), cycles
+
+    def _check(self, vaddr: int, entry: TlbEntry, *, privileged: bool,
+               write: bool, fetch: bool, cycles: int) -> None:
+        dtype = dacr_get(self.dacr, entry.domain)
+        if dtype == DomainType.NO_ACCESS:
+            self._fault(vaddr, f"domain fault (D{entry.domain} = NA)",
+                        fetch=fetch, write=write, cycles=cycles)
+        if dtype == DomainType.MANAGER:
+            return
+        ap = entry.ap
+        if ap == AP.NONE:
+            self._fault(vaddr, "permission fault (AP=NONE)", fetch=fetch,
+                        write=write, cycles=cycles)
+        elif ap == AP.PRIV_ONLY:
+            if not privileged:
+                self._fault(vaddr, "permission fault (privileged only)",
+                            fetch=fetch, write=write, cycles=cycles)
+        elif ap == AP.PRIV_RW_USER_RO:
+            if not privileged and write:
+                self._fault(vaddr, "permission fault (user read-only)",
+                            fetch=fetch, write=write, cycles=cycles)
+        # AP.FULL: always allowed.

@@ -1,0 +1,5 @@
+"""Discrete-event simulation engine."""
+
+from .engine import Clock, EventHandle, Simulator
+
+__all__ = ["Clock", "EventHandle", "Simulator"]

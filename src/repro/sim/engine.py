@@ -1,0 +1,159 @@
+"""Discrete-event core: integer-cycle clock, cancellable events, dispatcher.
+
+The simulation is *CPU-driven*: the machine advances the clock while the
+modelled CPU executes, then asks the engine to fire every event that became
+due.  When the CPU idles, the engine fast-forwards the clock to the next
+event.  All times are integer CPU cycles (see :mod:`repro.common.units`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..common.errors import SimulationError
+
+
+class Clock:
+    """Monotonic integer cycle counter."""
+
+    __slots__ = ("now",)
+
+    def __init__(self) -> None:
+        self.now: int = 0
+
+    def advance(self, dcycles: int) -> int:
+        """Move time forward by ``dcycles`` (>= 0) and return the new time."""
+        if dcycles < 0:
+            raise SimulationError(f"clock cannot move backwards ({dcycles})")
+        self.now += dcycles
+        return self.now
+
+    def advance_to(self, t: int) -> int:
+        """Move time forward to absolute cycle ``t`` (>= now)."""
+        if t < self.now:
+            raise SimulationError(f"clock cannot move backwards (to {t}, now {self.now})")
+        self.now = t
+        return self.now
+
+
+@dataclass(order=True)
+class _QueuedEvent:
+    time: int
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """Returned by :meth:`Simulator.schedule`; supports cancellation."""
+
+    __slots__ = ("time", "fn", "args", "cancelled", "fired", "label")
+
+    def __init__(self, time: int, fn: Callable[..., Any], args: tuple,
+                 label: str = "") -> None:
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent; no-op if already fired)."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        return not (self.cancelled or self.fired)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "fired" if self.fired else ("cancelled" if self.cancelled else "pending")
+        return f"<Event {self.label or self.fn.__name__} @{self.time} {state}>"
+
+
+class Simulator:
+    """Clock + event queue.  One instance per simulated machine."""
+
+    def __init__(self) -> None:
+        self.clock = Clock()
+        self._queue: list[_QueuedEvent] = []
+        self._seq = itertools.count()
+        #: Total events fired, for sanity checks in tests.
+        self.fired_count = 0
+
+    # -- scheduling ----------------------------------------------------
+
+    def schedule(self, delay: int, fn: Callable[..., Any], *args: Any,
+                 label: str = "") -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` cycles from now."""
+        return self.schedule_at(self.clock.now + delay, fn, *args, label=label)
+
+    def schedule_at(self, t: int, fn: Callable[..., Any], *args: Any,
+                    label: str = "") -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute cycle ``t`` (>= now)."""
+        if t < self.clock.now:
+            raise SimulationError(f"cannot schedule event in the past ({t} < {self.clock.now})")
+        handle = EventHandle(t, fn, args, label)
+        heapq.heappush(self._queue, _QueuedEvent(t, next(self._seq), handle))
+        return handle
+
+    # -- dispatching ---------------------------------------------------
+
+    def _pop_due(self, t: int) -> EventHandle | None:
+        while self._queue and self._queue[0].time <= t:
+            ev = heapq.heappop(self._queue).handle
+            if not ev.cancelled:
+                return ev
+        return None
+
+    def dispatch_due(self) -> int:
+        """Fire every pending event with time <= now; return count fired.
+
+        Events fired may schedule further events; those are honoured within
+        the same call if already due.
+        """
+        n = 0
+        while (ev := self._pop_due(self.clock.now)) is not None:
+            ev.fired = True
+            self.fired_count += 1
+            ev.fn(*ev.args)
+            n += 1
+        return n
+
+    def next_event_time(self) -> int | None:
+        """Time of the earliest pending event, or None when queue is empty."""
+        while self._queue and self._queue[0].handle.cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def advance_to_next_event(self) -> bool:
+        """Idle fast-forward: jump the clock to the next event and fire it.
+
+        Returns False when no events remain (simulation is quiescent).
+        """
+        t = self.next_event_time()
+        if t is None:
+            return False
+        self.clock.advance_to(max(t, self.clock.now))
+        self.dispatch_due()
+        return True
+
+    def run_until(self, t: int) -> None:
+        """Fire events in order up to absolute cycle ``t`` (clock ends at t)."""
+        while True:
+            nxt = self.next_event_time()
+            if nxt is None or nxt > t:
+                break
+            self.clock.advance_to(max(nxt, self.clock.now))
+            self.dispatch_due()
+        self.clock.advance_to(max(t, self.clock.now))
+
+    @property
+    def now(self) -> int:
+        return self.clock.now
+
+    @property
+    def pending_count(self) -> int:
+        return sum(1 for e in self._queue if e.handle.pending)

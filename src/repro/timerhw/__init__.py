@@ -1,0 +1,5 @@
+"""Timer hardware models."""
+
+from .timers import TIMER_WINDOW_SIZE, GlobalTimer, PrivateTimer
+
+__all__ = ["TIMER_WINDOW_SIZE", "GlobalTimer", "PrivateTimer"]

@@ -1,0 +1,97 @@
+"""Timer hardware: a free-running global counter and a programmable
+private timer that raises IRQ 29 through the GIC (MPCore style).
+
+Mini-NOVA multiplexes the single private timer between the scheduler
+quantum and the guests' *virtual* timers (Section V-A: the guest's timer
+init registers a virtual-timer state with the microkernel).
+"""
+
+from __future__ import annotations
+
+from ..gic.gic import Gic
+from ..gic.irqs import IRQ_PRIVATE_TIMER
+from ..sim.engine import EventHandle, Simulator
+
+# Private timer MMIO offsets (UG585 layout).
+PT_LOAD = 0x0
+PT_COUNTER = 0x4
+PT_CONTROL = 0x8
+PT_ISR = 0xC
+
+TIMER_WINDOW_SIZE = 0x100
+
+
+class GlobalTimer:
+    """Free-running 64-bit cycle counter (read-only)."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+
+    def read(self) -> int:
+        return self.sim.clock.now
+
+    def mmio_read(self, offset: int) -> int:
+        now = self.sim.clock.now
+        return (now & 0xFFFF_FFFF) if offset == 0 else (now >> 32)
+
+    def mmio_write(self, offset: int, value: int) -> None:
+        pass  # read-only in this model
+
+
+class PrivateTimer:
+    """One-shot down-counter; fires IRQ_PRIVATE_TIMER at expiry."""
+
+    def __init__(self, sim: Simulator, gic: Gic) -> None:
+        self.sim = sim
+        self.gic = gic
+        self._event: EventHandle | None = None
+        self._deadline: int | None = None
+        self.fired = 0
+
+    # -- programming API (kernel-only; also reachable via MMIO) ------------
+
+    def program(self, delay_cycles: int) -> None:
+        """(Re)arm the timer to fire ``delay_cycles`` from now."""
+        self.cancel()
+        self._deadline = self.sim.clock.now + max(1, delay_cycles)
+        self._event = self.sim.schedule_at(self._deadline, self._expire,
+                                           label="private-timer")
+
+    def cancel(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        self._deadline = None
+
+    def remaining(self) -> int | None:
+        """Cycles until expiry, or None when unarmed."""
+        if self._deadline is None:
+            return None
+        return max(0, self._deadline - self.sim.clock.now)
+
+    @property
+    def armed(self) -> bool:
+        return self._event is not None and self._event.pending
+
+    def _expire(self) -> None:
+        self._event = None
+        self._deadline = None
+        self.fired += 1
+        self.gic.assert_irq(IRQ_PRIVATE_TIMER)
+
+    # -- MMIO ------------------------------------------------------------------
+
+    def mmio_read(self, offset: int) -> int:
+        if offset == PT_COUNTER:
+            return self.remaining() or 0
+        if offset == PT_CONTROL:
+            return int(self.armed)
+        if offset == PT_ISR:
+            return int(self.gic.is_pending(IRQ_PRIVATE_TIMER))
+        return 0
+
+    def mmio_write(self, offset: int, value: int) -> None:
+        if offset == PT_LOAD:
+            self.program(value)
+        elif offset == PT_CONTROL and not (value & 1):
+            self.cancel()

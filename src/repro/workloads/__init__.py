@@ -1,0 +1,12 @@
+"""Guest workloads of the paper's evaluation: GSM/ADPCM heavy tasks and
+the T_hw hardware-task request generator."""
+
+from .profiles import ADPCM_BLOCK, FFT_SW_1K, GSM_FRAME, WorkProfile, fft_sw_profile
+from .t_hw import DEFAULT_TASK_SET, ThwStats, make_t_hw_task
+from .tasks import WorkloadStats, make_adpcm_task, make_gsm_task
+
+__all__ = [
+    "ADPCM_BLOCK", "FFT_SW_1K", "GSM_FRAME", "WorkProfile", "fft_sw_profile",
+    "DEFAULT_TASK_SET", "ThwStats", "make_t_hw_task", "WorkloadStats",
+    "make_adpcm_task", "make_gsm_task",
+]

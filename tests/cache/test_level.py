@@ -1,0 +1,123 @@
+"""Set-associative cache level: hits, LRU, writebacks, maintenance."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.level import CacheLevel
+from repro.common.params import CacheParams
+
+
+def tiny_cache(ways=2, sets=4, line=32):
+    return CacheLevel(CacheParams(size=ways * sets * line, ways=ways, line=line))
+
+
+def test_miss_then_hit():
+    c = tiny_cache()
+    hit, _ = c.lookup(0x1000)
+    assert not hit
+    hit, _ = c.lookup(0x1000)
+    assert hit
+    assert c.stats.hits == 1 and c.stats.misses == 1
+
+
+def test_same_line_different_words_hit():
+    c = tiny_cache()
+    c.lookup(0x1000)
+    hit, _ = c.lookup(0x101C)   # same 32-byte line
+    assert hit
+
+
+def test_lru_eviction_order():
+    c = tiny_cache(ways=2, sets=1)      # fully associative pair
+    c.lookup(0x00)   # A
+    c.lookup(0x20)   # B
+    c.lookup(0x00)   # refresh A -> LRU victim is B
+    c.lookup(0x40)   # C evicts B
+    hit, _ = c.lookup(0x00)
+    assert hit                            # A survived
+    hit, _ = c.lookup(0x20)
+    assert not hit                        # B was evicted
+
+
+def test_dirty_victim_reports_writeback():
+    c = tiny_cache(ways=1, sets=1)
+    c.lookup(0x00, write=True)
+    hit, victim = c.lookup(0x20)
+    assert not hit and victim == 0         # line address of victim (0x00 >> 5)
+    assert c.stats.writebacks == 1
+
+
+def test_clean_victim_no_writeback():
+    c = tiny_cache(ways=1, sets=1)
+    c.lookup(0x00, write=False)
+    _, victim = c.lookup(0x20)
+    assert victim is None
+    assert c.stats.writebacks == 0
+
+
+def test_invalidate_all_drops_everything():
+    c = tiny_cache()
+    for i in range(8):
+        c.lookup(i * 32, write=True)
+    c.invalidate_all()
+    assert c.resident_lines == 0
+    hit, _ = c.lookup(0)
+    assert not hit
+
+
+def test_clean_invalidate_counts_dirty_lines():
+    c = tiny_cache()
+    c.lookup(0x00, write=True)
+    c.lookup(0x20, write=False)
+    wb = c.clean_invalidate_all()
+    assert wb == 1
+    assert c.resident_lines == 0
+
+
+def test_invalidate_line():
+    c = tiny_cache()
+    c.lookup(0x1000)
+    assert c.invalidate_line(0x1000)
+    assert not c.invalidate_line(0x1000)
+    hit, _ = c.lookup(0x1000)
+    assert not hit
+
+
+def test_clear_random_sets_drops_fraction():
+    import numpy as np
+    c = tiny_cache(ways=2, sets=8)
+    for i in range(16):
+        c.lookup(i * 32)
+    dropped = c.clear_random_sets(0.5, np.random.default_rng(0))
+    assert dropped == 8                   # half of 8 sets x 2 ways
+    assert c.resident_lines == 8
+
+
+def test_sets_isolated():
+    c = tiny_cache(ways=1, sets=4, line=32)
+    # These map to different sets -> no mutual eviction.
+    c.lookup(0 * 32)
+    c.lookup(1 * 32)
+    c.lookup(2 * 32)
+    assert c.lookup(0 * 32)[0]
+
+
+@settings(max_examples=50)
+@given(st.lists(st.integers(min_value=0, max_value=0xFFFF).map(lambda a: a * 32),
+                min_size=1, max_size=200))
+def test_residency_never_exceeds_capacity(addrs):
+    c = tiny_cache(ways=2, sets=4)
+    for a in addrs:
+        c.lookup(a, write=(a % 64 == 0))
+    assert c.resident_lines <= 8
+    assert c.stats.accesses == len(addrs)
+
+
+@settings(max_examples=30)
+@given(st.lists(st.integers(min_value=0, max_value=255).map(lambda a: a * 32),
+                min_size=1, max_size=100))
+def test_immediate_rereference_always_hits(addrs):
+    c = tiny_cache(ways=4, sets=8)
+    for a in addrs:
+        c.lookup(a)
+        hit, _ = c.lookup(a)
+        assert hit

@@ -1,0 +1,42 @@
+"""Shared fixtures: a fresh machine / memory system per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.params import DEFAULT_PARAMS
+from repro.cpu.core import Cpu
+from repro.machine import Machine, MachineConfig
+from repro.mem.system import MemorySystem
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def params():
+    return DEFAULT_PARAMS
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def memsys(params):
+    return MemorySystem(params)
+
+
+@pytest.fixture
+def cpu(sim, memsys, params):
+    return Cpu(sim, memsys, params)
+
+
+@pytest.fixture
+def machine():
+    return Machine()
+
+
+@pytest.fixture
+def small_machine():
+    """Machine with a reduced task library (faster boot for kernel tests)."""
+    return Machine(MachineConfig(tasks=("fft256", "qam16")))

@@ -1,0 +1,32 @@
+"""Mode/vector-table metadata."""
+
+from repro.cpu.modes import EXCEPTION_MODE, Mode, VECTOR_OFFSETS
+
+
+def test_privilege_split():
+    assert not Mode.USR.privileged
+    for m in Mode:
+        if m is not Mode.USR:
+            assert m.privileged
+
+
+def test_exception_modes_match_architecture():
+    assert EXCEPTION_MODE["svc"] is Mode.SVC
+    assert EXCEPTION_MODE["und"] is Mode.UND
+    assert EXCEPTION_MODE["pabt"] is Mode.ABT
+    assert EXCEPTION_MODE["dabt"] is Mode.ABT
+    assert EXCEPTION_MODE["irq"] is Mode.IRQ
+    assert EXCEPTION_MODE["fiq"] is Mode.FIQ
+
+
+def test_vector_offsets_are_arm_layout():
+    assert VECTOR_OFFSETS["reset"] == 0x00
+    assert VECTOR_OFFSETS["und"] == 0x04
+    assert VECTOR_OFFSETS["svc"] == 0x08
+    assert VECTOR_OFFSETS["pabt"] == 0x0C
+    assert VECTOR_OFFSETS["dabt"] == 0x10
+    assert VECTOR_OFFSETS["irq"] == 0x18
+    assert VECTOR_OFFSETS["fiq"] == 0x1C
+    # Each handler slot is one word.
+    offs = sorted(VECTOR_OFFSETS.values())
+    assert all(b - a in (4, 8) for a, b in zip(offs, offs[1:]))

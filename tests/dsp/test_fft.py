@@ -1,0 +1,80 @@
+"""FFT golden model: the reference radix-2 vs NumPy, and properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dsp import fft
+
+
+@pytest.mark.parametrize("n", fft.FFT_SIZES)
+def test_reference_matches_numpy(n):
+    rng = np.random.default_rng(n)
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    ref = fft.fft_radix2_reference(x)
+    assert np.allclose(ref, np.fft.fft(x), rtol=1e-4, atol=1e-3)
+
+
+def test_fft_rejects_non_pow2():
+    with pytest.raises(ValueError):
+        fft.fft(np.zeros(100))
+    with pytest.raises(ValueError):
+        fft.fft_radix2_reference(np.zeros(3))
+
+
+def test_impulse_gives_flat_spectrum():
+    x = np.zeros(256, dtype=np.complex64)
+    x[0] = 1.0
+    assert np.allclose(fft.fft(x), np.ones(256), atol=1e-5)
+
+
+def test_dc_gives_single_bin():
+    x = np.ones(512, dtype=np.complex64)
+    y = fft.fft(x)
+    assert y[0] == pytest.approx(512, rel=1e-5)
+    assert np.abs(y[1:]).max() < 1e-2
+
+
+def test_single_tone_lands_in_right_bin():
+    n, k = 1024, 37
+    x = np.exp(2j * np.pi * k * np.arange(n) / n)
+    y = np.abs(fft.fft(x))
+    assert y.argmax() == k
+
+
+def test_butterfly_count():
+    assert fft.fft_butterfly_count(8) == 4 * 3
+    assert fft.fft_butterfly_count(1024) == 512 * 10
+    with pytest.raises(ValueError):
+        fft.fft_butterfly_count(100)
+
+
+def test_is_pow2():
+    assert fft.is_pow2(1) and fft.is_pow2(8192)
+    assert not fft.is_pow2(0) and not fft.is_pow2(96)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=3, max_value=9),
+       st.integers(min_value=0, max_value=2**31 - 1))
+def test_parseval_property(log_n, seed):
+    n = 1 << log_n
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+    y = fft.fft_radix2_reference(x)
+    # Parseval: sum |x|^2 == (1/N) sum |X|^2
+    assert np.sum(np.abs(x) ** 2) == pytest.approx(
+        np.sum(np.abs(y) ** 2) / n, rel=1e-3)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=3, max_value=8),
+       st.integers(min_value=0, max_value=2**31 - 1))
+def test_linearity_property(log_n, seed):
+    n = 1 << log_n
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal(n)
+    b = rng.standard_normal(n)
+    lhs = fft.fft_radix2_reference(a + 2 * b)
+    rhs = fft.fft_radix2_reference(a) + 2 * fft.fft_radix2_reference(b)
+    assert np.allclose(lhs, rhs, rtol=1e-3, atol=1e-3)

@@ -1,0 +1,80 @@
+"""Scenario builders: wiring sanity and determinism."""
+
+import pytest
+
+from repro.eval.scenarios import (
+    PRIO_ADPCM,
+    PRIO_GSM,
+    PRIO_T_HW,
+    build_native,
+    build_virtualized,
+    task_directory,
+)
+from repro.guest.ucos import IDLE_PRIO
+
+
+def test_virt_scenario_wiring():
+    sc = build_virtualized(3, seed=1, with_workloads=True,
+                           task_set=("qam4",))
+    assert len(sc.guests) == 3
+    assert sc.kernel.manager_pd is not None
+    # Each guest has T_hw + gsm + adpcm + idle.
+    for g in sc.guests:
+        assert set(g.os.tasks) == {PRIO_T_HW, PRIO_GSM, PRIO_ADPCM, IDLE_PRIO}
+    # Guests + manager registered as domains.
+    assert len(sc.kernel.domains) == 4
+
+
+def test_without_workloads_only_thw():
+    sc = build_virtualized(1, seed=1, with_workloads=False, task_set=("qam4",))
+    assert set(sc.guests[0].os.tasks) == {PRIO_T_HW, IDLE_PRIO}
+    assert sc.guests[0].gsm_stats is None
+
+
+def test_task_directory_matches_manager_table():
+    sc = build_virtualized(1, seed=1, with_workloads=False)
+    for name, tid in sc.directory.items():
+        assert sc.manager.allocator.tasks.by_id(tid).name == name
+
+
+def test_native_and_virt_share_directory():
+    nat = build_native(seed=1, with_workloads=False)
+    sc = build_virtualized(1, seed=1, with_workloads=False)
+    assert task_directory(nat.machine) == task_directory(sc.machine)
+    for name, tid in nat.directory.items():
+        assert nat.system.allocator.tasks.by_id(tid).name == name
+
+
+def test_determinism_same_seed_same_trajectory():
+    a = build_virtualized(2, seed=33, iterations=3, with_workloads=True,
+                          task_set=("fft256", "qam16"))
+    b = build_virtualized(2, seed=33, iterations=3, with_workloads=True,
+                          task_set=("fft256", "qam16"))
+    a.run_ms(120)
+    b.run_ms(120)
+    assert a.machine.now == b.machine.now
+    assert a.kernel.hypercall_count == b.kernel.hypercall_count
+    assert [g.thw_stats.requests for g in a.guests] == \
+        [g.thw_stats.requests for g in b.guests]
+    assert a.machine.mem.caches.l1d.stats.misses == \
+        b.machine.mem.caches.l1d.stats.misses
+
+
+def test_different_seed_different_trajectory():
+    a = build_virtualized(1, seed=1, iterations=5, with_workloads=False)
+    b = build_virtualized(1, seed=2, iterations=5, with_workloads=False)
+    a.run_ms(100)
+    b.run_ms(100)
+    at = [t for t in a.guests[0].thw_stats.by_task]
+    bt = [t for t in b.guests[0].thw_stats.by_task]
+    # Random task choices differ (overwhelmingly likely across seeds).
+    assert at != bt or a.kernel.hypercall_count != b.kernel.hypercall_count
+
+
+def test_run_until_completions_caps_at_max_ms():
+    sc = build_virtualized(1, seed=1, with_workloads=False,
+                           iterations=0, task_set=("qam4",))   # no requests
+    sc.run_until_completions(5, max_ms=50.0)
+    hz = sc.machine.params.cpu.hz
+    assert sc.machine.now <= int(0.06 * hz)
+    assert sc.total_completions() == 0

@@ -1,0 +1,95 @@
+"""IP-core models: functional output vs golden, latency/resource scaling."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import fft as fft_golden
+from repro.dsp import qam as qam_golden
+from repro.fpga.ip import FftCore, PlResources, QamCore, make_core
+
+
+def test_make_core_dispatch():
+    assert isinstance(make_core("fft1024"), FftCore)
+    assert isinstance(make_core("qam16"), QamCore)
+    with pytest.raises(ValueError):
+        make_core("dct8")
+    with pytest.raises(ValueError):
+        make_core("fft100")
+    with pytest.raises(ValueError):
+        make_core("qam32")
+
+
+@pytest.mark.parametrize("n", fft_golden.FFT_SIZES)
+def test_fft_core_matches_golden(n):
+    core = FftCore(n)
+    rng = np.random.default_rng(n)
+    x = (rng.standard_normal(n) + 1j * rng.standard_normal(n)).astype(np.complex64)
+    out = core.run(x.tobytes())
+    got = np.frombuffer(out, dtype=np.complex64)
+    assert np.allclose(got, fft_golden.fft(x), rtol=1e-3, atol=1e-2)
+
+
+def test_fft_core_multi_block():
+    core = FftCore(256)
+    rng = np.random.default_rng(0)
+    x = (rng.standard_normal(512) + 1j * rng.standard_normal(512)).astype(np.complex64)
+    got = np.frombuffer(core.run(x.tobytes()), dtype=np.complex64)
+    for b in range(2):
+        want = fft_golden.fft(x[b * 256:(b + 1) * 256])
+        assert np.allclose(got[b * 256:(b + 1) * 256], want, rtol=1e-3, atol=1e-2)
+
+
+def test_fft_out_len_truncates_partial_frames():
+    core = FftCore(256)
+    assert core.out_len(256 * 8) == 256 * 8
+    assert core.out_len(256 * 8 + 100) == 256 * 8
+    assert core.out_len(100) == 0
+
+
+@pytest.mark.parametrize("order", qam_golden.QAM_ORDERS)
+def test_qam_core_matches_golden(order):
+    core = QamCore(order)
+    data = bytes(range(64))
+    got = np.frombuffer(core.run(data), dtype=np.complex64)
+    syms = qam_golden.pack_bits_to_symbols(data, order)
+    want = qam_golden.modulate(syms, order)
+    assert np.allclose(got, want, rtol=1e-4)
+
+
+def test_qam_out_len():
+    core = QamCore(16)       # 4 bits/symbol
+    assert core.n_symbols(100) == 200
+    assert core.out_len(100) == 200 * 8
+
+
+def test_resources_scale_with_fft_size():
+    small, big = FftCore(256), FftCore(8192)
+    assert small.resources.luts < big.resources.luts
+    assert small.bitstream_bytes < big.bitstream_bytes
+    assert small.exec_fpga_cycles(256 * 8) < big.exec_fpga_cycles(8192 * 8)
+
+
+def test_qam_is_small():
+    q = QamCore(64)
+    f = FftCore(256)
+    assert q.resources.luts < f.resources.luts
+    assert q.bitstream_bytes < f.bitstream_bytes
+
+
+def test_fits_in():
+    need = PlResources(luts=100, bram=1, dsp=2)
+    cap = PlResources(luts=200, bram=2, dsp=2)
+    assert need.fits_in(cap)
+    assert not cap.fits_in(need)
+    assert not PlResources(luts=100, bram=3, dsp=1).fits_in(cap)
+
+
+def test_paper_floorplan_constraint():
+    """Section V: FFTs only fit the two large PRRs; QAM fits all four."""
+    from repro.machine import PRR_LARGE, PRR_SMALL
+    for n in fft_golden.FFT_SIZES:
+        core = FftCore(n)
+        assert core.resources.fits_in(PRR_LARGE)
+        assert not core.resources.fits_in(PRR_SMALL)
+    for order in qam_golden.QAM_ORDERS:
+        assert QamCore(order).resources.fits_in(PRR_SMALL)

@@ -1,0 +1,47 @@
+"""PRR state object unit behaviour."""
+
+from repro.fpga.ip import PlResources, make_core
+from repro.fpga.prr import HwMmuWindow, Prr, PrrStatus
+
+
+def test_hwmmu_window_bounds():
+    w = HwMmuWindow(base=0x1000, limit=0x2000)
+    assert w.allows(0x1000, 0x2000)
+    assert w.allows(0x1800, 0x1900)
+    assert not w.allows(0x0FFF, 0x1800)       # starts below
+    assert not w.allows(0x1800, 0x2001)       # ends above
+    assert not w.allows(0x1800, 0x1800)       # empty range
+    assert not HwMmuWindow().allows(0, 4)     # unconfigured denies
+
+
+def test_can_host_respects_resources():
+    big = Prr(prr_id=0, capacity=PlResources(luts=30_000, bram=32, dsp=64))
+    small = Prr(prr_id=1, capacity=PlResources(luts=2_000, bram=4, dsp=8))
+    fft = make_core("fft4096")
+    qam = make_core("qam16")
+    assert big.can_host(fft) and big.can_host(qam)
+    assert small.can_host(qam) and not small.can_host(fft)
+
+
+def test_reset_regs_clears_datapath_only():
+    prr = Prr(prr_id=0, capacity=PlResources(1, 1, 1))
+    prr.src, prr.length, prr.dst = 1, 2, 3
+    prr.irq_en = True
+    prr.status = PrrStatus.DONE
+    prr.client_vm = 7
+    prr.irq_line = 3
+    prr.reset_regs()
+    assert prr.src == prr.length == prr.dst == 0
+    assert not prr.irq_en
+    assert prr.status == PrrStatus.IDLE
+    # Allocation state survives a register reset.
+    assert prr.client_vm == 7
+    assert prr.irq_line == 3
+
+
+def test_reg_snapshot_shape():
+    prr = Prr(prr_id=0, capacity=PlResources(1, 1, 1))
+    prr.src = 0x100
+    snap = prr.reg_snapshot()
+    assert snap["src"] == 0x100
+    assert len(snap) == 6

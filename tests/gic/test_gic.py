@@ -1,0 +1,134 @@
+"""GIC distributor + CPU interface behaviour."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.gic import gic as G
+from repro.gic.gic import Gic
+from repro.gic.irqs import SPURIOUS_IRQ, pl_irq, pl_line
+
+
+@pytest.fixture
+def gic():
+    return Gic()
+
+
+def test_assert_without_enable_no_line(gic):
+    levels = []
+    gic.irq_line_cb = levels.append
+    gic.assert_irq(40)
+    assert levels[-1] is False
+    assert gic.ack() == SPURIOUS_IRQ
+
+
+def test_enable_then_assert_raises_line(gic):
+    levels = []
+    gic.irq_line_cb = levels.append
+    gic.set_enable(40, True)
+    gic.assert_irq(40)
+    assert levels[-1] is True
+
+
+def test_ack_clears_pending_sets_active(gic):
+    gic.set_enable(40, True)
+    gic.assert_irq(40)
+    assert gic.ack() == 40
+    assert not gic.pending[40] and gic.active[40]
+    assert gic.ack() == SPURIOUS_IRQ
+
+
+def test_eoi_clears_active(gic):
+    gic.set_enable(40, True)
+    gic.assert_irq(40)
+    gic.ack()
+    gic.eoi(40)
+    assert not gic.active[40]
+
+
+def test_priority_ordering(gic):
+    gic.set_enable(40, True)
+    gic.set_enable(61, True)
+    gic.set_priority(40, 0x80)
+    gic.set_priority(61, 0x20)      # higher priority (lower value)
+    gic.assert_irq(40)
+    gic.assert_irq(61)
+    assert gic.ack() == 61
+    assert gic.ack() == 40
+
+
+def test_priority_mask_gates(gic):
+    gic.set_enable(40, True)
+    gic.set_priority(40, 0x90)
+    gic.priority_mask = 0x80
+    gic.assert_irq(40)
+    assert gic.ack() == SPURIOUS_IRQ
+    gic.priority_mask = 0xFF
+    assert gic.ack() == 40
+
+
+def test_distributor_off_blocks(gic):
+    gic.set_enable(40, True)
+    gic.dist_on = False
+    gic.assert_irq(40)
+    assert gic.ack() == SPURIOUS_IRQ
+
+
+def test_bad_irq_id(gic):
+    with pytest.raises(ConfigError):
+        gic.assert_irq(96)
+    with pytest.raises(ConfigError):
+        gic.set_enable(-1, True)
+
+
+# -- MMIO interface ---------------------------------------------------------
+
+def test_mmio_enable_set_clear(gic):
+    gic.mmio_write(G.ICDISER + 4, 1 << 8)     # IRQ 40 = word 1, bit 8
+    assert gic.enabled[40]
+    assert gic.mmio_read(G.ICDISER + 4) == 1 << 8
+    gic.mmio_write(G.ICDICER + 4, 1 << 8)
+    assert not gic.enabled[40]
+
+
+def test_mmio_ack_eoi_cycle(gic):
+    gic.set_enable(61, True)
+    gic.assert_irq(61)
+    irq = gic.mmio_read(G.ICCIAR)
+    assert irq == 61
+    gic.mmio_write(G.ICCEOIR, 61)
+    assert not gic.active[61]
+    assert gic.eois == 1
+
+
+def test_mmio_pending_registers(gic):
+    gic.mmio_write(G.ICDISPR + 4, 1 << 8)
+    assert gic.pending[40]
+    assert gic.mmio_read(G.ICDISPR + 4) & (1 << 8)
+    gic.mmio_write(G.ICDICPR + 4, 1 << 8)
+    assert not gic.pending[40]
+
+
+def test_mmio_priority_bytes(gic):
+    gic.mmio_write(G.ICDIPR + 40, 0x10203040)
+    assert gic.priority[40] == 0x40
+    assert gic.priority[43] == 0x10
+    assert gic.mmio_read(G.ICDIPR + 40) == 0x10203040
+
+
+def test_mmio_cpu_iface_control(gic):
+    gic.mmio_write(G.ICCICR, 0)
+    gic.set_enable(40, True)
+    gic.assert_irq(40)
+    assert gic.ack() == SPURIOUS_IRQ
+    gic.mmio_write(G.ICCICR, 1)
+    assert gic.ack() == 40
+
+
+# -- IRQ map helpers ---------------------------------------------------------
+
+def test_pl_irq_mapping_roundtrip():
+    for line in range(16):
+        assert pl_line(pl_irq(line)) == line
+    assert pl_line(40) is None
+    with pytest.raises(ValueError):
+        pl_irq(16)

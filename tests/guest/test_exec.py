@@ -1,0 +1,81 @@
+"""GuestExecutor: bulk sampling behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.common.params import DEFAULT_PARAMS
+from repro.cpu.core import Cpu
+from repro.guest.exec import GuestExecutor
+from repro.mem.descriptors import AP, DomainType, dacr_set
+from repro.mem.ptables import PageTable
+from repro.mem.system import MemorySystem
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def ex():
+    sim = Simulator()
+    mem = MemorySystem(DEFAULT_PARAMS)
+    cpu = Cpu(sim, mem, DEFAULT_PARAMS)
+    pt = PageTable(mem.bus, mem.kernel_frames)
+    for mb in range(8):
+        pt.map_section(0x4000_0000 + (mb << 20), 0x0100_0000 + (mb << 20),
+                       ap=AP.FULL, domain=0)
+    cpu.sysregs.write("TTBR0", pt.l1_base, privileged=True)
+    cpu.sysregs.write("DACR", dacr_set(0, 0, DomainType.CLIENT), privileged=True)
+    cpu.sysregs.write("SCTLR", 1, privileged=True)
+    return GuestExecutor(cpu, addr_base=0, seed=5, stream="t")
+
+
+def test_bulk_charges_at_least_issue_cost(ex):
+    t0 = ex.cpu.sim.now
+    ex.bulk(10_000, 0, ())
+    assert ex.cpu.sim.now - t0 == 7500     # CPI 0.75, no memory
+
+
+def test_bulk_memory_adds_latency(ex):
+    t0 = ex.cpu.sim.now
+    ex.bulk(10_000, 5_000, ((0x4000_0000, 64 * 1024),))
+    assert ex.cpu.sim.now - t0 > 7500
+
+
+def test_bulk_pollutes_the_caches(ex):
+    before = ex.cpu.mem.caches.l1d.resident_lines
+    ex.bulk(100_000, 50_000, ((0x4000_0000, 128 * 1024),))
+    assert ex.cpu.mem.caches.l1d.resident_lines > before
+
+
+def test_addresses_confined_to_regions(ex):
+    addrs = ex._gen_addrs(500, ((0x4000_0000, 0x10000),
+                                (0x4010_0000, 0x8000)))
+    in_a = (addrs >= 0x4000_0000) & (addrs < 0x4001_0000)
+    in_b = (addrs >= 0x4010_0000) & (addrs < 0x4010_8000)
+    assert (in_a | in_b).all()
+    assert in_a.any() and in_b.any()       # both regions get traffic
+
+
+def test_region_weighting_by_size(ex):
+    addrs = ex._gen_addrs(2000, ((0x4000_0000, 0x40000),    # 4x bigger
+                                 (0x4010_0000, 0x10000)))
+    in_a = ((addrs >= 0x4000_0000) & (addrs < 0x4004_0000)).sum()
+    in_b = 2000 - in_a
+    assert in_a > in_b * 2
+
+
+def test_addr_base_offsets_everything():
+    sim = Simulator()
+    mem = MemorySystem(DEFAULT_PARAMS)
+    cpu = Cpu(sim, mem, DEFAULT_PARAMS)
+    ex = GuestExecutor(cpu, addr_base=0x1000_0000, seed=5)
+    addrs = ex._gen_addrs(100, ((0x100, 0x1000),))
+    assert (addrs >= 0x1000_0100).all()
+
+
+def test_deterministic_stream(ex):
+    a = ex._gen_addrs(50, ((0x4000_0000, 0x10000),))
+    sim = Simulator()
+    mem = MemorySystem(DEFAULT_PARAMS)
+    cpu = Cpu(sim, mem, DEFAULT_PARAMS)
+    ex2 = GuestExecutor(cpu, addr_base=0, seed=5, stream="t")
+    b = ex2._gen_addrs(50, ((0x4000_0000, 0x10000),))
+    assert (a == b).all()

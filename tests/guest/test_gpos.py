@@ -1,0 +1,117 @@
+"""GPOS personality: fair time-sharing on the guest substrate."""
+
+import pytest
+
+from repro.guest import layout_guest as GL
+from repro.guest.actions import Compute, Delay, Finish
+from repro.guest.gpos import Gpos
+from repro.guest.ucos import TaskState, Ucos
+from tests.guest.test_ucos import MiniPort
+
+
+@pytest.fixture
+def gpos():
+    os_ = Gpos("g", slice_ticks=1)
+    os_.port = MiniPort()
+    return os_
+
+
+def spinner(log, tag, n=50):
+    def fn(os):
+        for _ in range(n):
+            log.append(tag)
+            yield Compute(5_000, 20, ((GL.USER_BASE, 8192),))
+        yield Finish()
+    return fn
+
+
+def run_with_ticks(os_, actions=60, tick_every=2):
+    for i in range(actions):
+        if i % tick_every == 0:
+            os_.pending_irqs.append(GL.TICK_IRQ)
+            os_.handle_pending_irqs()
+        kind, _ = os_.run_one_action()
+        if kind == "halt":
+            break
+
+
+def test_round_robin_shares_cpu(gpos):
+    log = []
+    gpos.create_process("a", spinner(log, "a"))
+    gpos.create_process("b", spinner(log, "b"))
+    run_with_ticks(gpos, actions=40)
+    # Both ran, interleaved (not a-starves-b as uC/OS strict prio would).
+    assert log.count("a") >= 5 and log.count("b") >= 5
+    first_b = log.index("b")
+    assert first_b < 10        # b didn't wait for a to finish
+
+
+def test_strict_priority_ucos_starves_by_contrast():
+    os_ = Ucos("u")
+    os_.port = MiniPort()
+    log = []
+    os_.create_task("a", 5, spinner(log, "a", n=100))
+    os_.create_task("b", 6, spinner(log, "b", n=20))
+    run_with_ticks(os_, actions=25)
+    # uC/OS: 'a' (higher priority, never blocking) fully starves 'b'.
+    assert log.count("b") == 0
+
+
+def test_blocked_process_skipped(gpos):
+    log = []
+
+    def sleeper(os):
+        log.append("s-start")
+        yield Delay(10)
+        log.append("s-woke")
+        yield Finish()
+
+    gpos.create_process("sleeper", sleeper)
+    gpos.create_process("worker", spinner(log, "w", n=30))
+    run_with_ticks(gpos, actions=20)
+    assert "s-start" in log
+    assert log.count("w") >= 8      # worker keeps the CPU while sleeper waits
+
+
+def test_rotation_counter(gpos):
+    log = []
+    gpos.create_process("a", spinner(log, "a"))
+    gpos.create_process("b", spinner(log, "b"))
+    run_with_ticks(gpos, actions=40)
+    assert gpos.rotations >= 3
+
+
+def test_done_processes_leave_the_ring(gpos):
+    log = []
+    gpos.create_process("short", spinner(log, "s", n=2))
+    gpos.create_process("long", spinner(log, "l", n=40))
+    run_with_ticks(gpos, actions=60)
+    assert all(t.name != "short" or t.state is TaskState.DONE
+               for t in gpos.tasks.values())
+    assert log.count("l") > 10
+
+
+def test_process_table_capacity(gpos):
+    from repro.common.errors import GuestPanic
+    for i in range(63):
+        gpos.create_process(f"p{i}", spinner([], "x", n=1))
+    with pytest.raises(GuestPanic):
+        gpos.create_process("overflow", spinner([], "x", n=1))
+
+
+def test_gpos_runs_under_mininova():
+    """The GPOS boots as a paravirtualized VM like any other guest."""
+    from repro.eval.scenarios import build_virtualized
+    from repro.guest.ports.paravirt import ParavirtUcos
+
+    sc = build_virtualized(1, seed=91, with_workloads=False, iterations=0,
+                           task_set=("qam4",))
+    log = []
+    gpos = Gpos("gpos-vm", slice_ticks=1)
+    gpos.create_process("a", spinner(log, "a", n=2000))
+    gpos.create_process("b", spinner(log, "b", n=2000))
+    sc.kernel.create_vm("gpos-vm", ParavirtUcos(gpos))
+    sc.run_ms(120)
+    assert log.count("a") >= 50 and log.count("b") >= 50
+    assert gpos.stats.ticks >= 2
+    assert gpos.rotations >= 2

@@ -1,0 +1,174 @@
+"""uC/OS mailbox and message-queue services."""
+
+import pytest
+
+from repro.guest.actions import Finish, MboxPend, MboxPost, QueuePend, QueuePost
+from repro.guest.ucos import TaskState, Ucos
+from tests.guest.test_ucos import MiniPort
+
+
+@pytest.fixture
+def os_():
+    os_ = Ucos("t")
+    os_.port = MiniPort()
+    return os_
+
+
+def drain(os_, n=50):
+    kinds = []
+    for _ in range(n):
+        kind, _ = os_.run_one_action()
+        kinds.append(kind)
+        if kind == "halt":
+            break
+    return kinds
+
+
+def test_mbox_post_then_pend(os_):
+    mbox = os_.create_mailbox("m")
+    log = []
+
+    def producer(os):
+        ok = yield MboxPost(mbox, msg={"x": 42})
+        log.append(("post", ok))
+        yield Finish()
+
+    def consumer(os):
+        msg = yield MboxPend(mbox)
+        log.append(("recv", msg))
+        yield Finish()
+
+    os_.create_task("prod", 4, producer)        # runs first
+    os_.create_task("cons", 9, consumer)
+    drain(os_)
+    assert ("post", True) in log
+    assert ("recv", {"x": 42}) in log
+
+
+def test_mbox_pend_blocks_until_post(os_):
+    mbox = os_.create_mailbox("m")
+    log = []
+
+    def consumer(os):
+        msg = yield MboxPend(mbox)
+        log.append(msg)
+        yield Finish()
+
+    def producer(os):
+        yield MboxPost(mbox, msg="late")
+        yield Finish()
+
+    os_.create_task("cons", 4, consumer)        # higher prio, pends first
+    os_.create_task("prod", 9, producer)
+    os_.run_one_action()
+    assert os_.tasks[4].state is TaskState.PENDING
+    drain(os_)
+    assert log == ["late"]
+
+
+def test_mbox_full_rejects_second_post(os_):
+    mbox = os_.create_mailbox("m")
+    log = []
+
+    def producer(os):
+        log.append((yield MboxPost(mbox, msg=1)))
+        log.append((yield MboxPost(mbox, msg=2)))
+        yield Finish()
+
+    os_.create_task("p", 4, producer)
+    drain(os_)
+    assert log == [True, False]
+    assert mbox.msg == 1 and mbox.full
+
+
+def test_mbox_timeout(os_):
+    import repro.guest.layout_guest as GL
+    mbox = os_.create_mailbox("m")
+    log = []
+
+    def consumer(os):
+        msg = yield MboxPend(mbox, timeout_ticks=2)
+        log.append(msg)
+        yield Finish()
+
+    os_.create_task("c", 4, consumer)
+    os_.run_one_action()
+    for _ in range(2):
+        os_.pending_irqs.append(GL.TICK_IRQ)
+        os_.handle_pending_irqs()
+    drain(os_)
+    assert log == [False]        # timed out, no message
+
+
+def test_queue_fifo_order(os_):
+    q = os_.create_queue("q", capacity=4)
+    got = []
+
+    def producer(os):
+        for i in range(3):
+            yield QueuePost(q, msg=i)
+        yield Finish()
+
+    def consumer(os):
+        for _ in range(3):
+            got.append((yield QueuePend(q)))
+        yield Finish()
+
+    os_.create_task("prod", 4, producer)
+    os_.create_task("cons", 9, consumer)
+    drain(os_)
+    assert got == [0, 1, 2]
+
+
+def test_queue_capacity_overrun(os_):
+    q = os_.create_queue("q", capacity=2)
+    results = []
+
+    def producer(os):
+        for i in range(3):
+            results.append((yield QueuePost(q, msg=i)))
+        yield Finish()
+
+    os_.create_task("p", 4, producer)
+    drain(os_)
+    assert results == [True, True, False]
+    assert q.overruns == 1
+
+
+def test_queue_wakes_highest_priority_waiter(os_):
+    q = os_.create_queue("q")
+    got = []
+
+    def mk(tag):
+        def fn(os):
+            got.append((tag, (yield QueuePend(q))))
+            yield Finish()
+        return fn
+
+    def producer(os):
+        yield QueuePost(q, msg="only")
+        yield Finish()
+
+    os_.create_task("lo", 20, mk("lo"))
+    os_.create_task("hi", 5, mk("hi"))
+    drain(os_, 4)          # both pend
+    os_.create_task("prod", 30, producer)
+    drain(os_)
+    assert got[0] == ("hi", "only")
+
+
+def test_queue_direct_handoff_bypasses_buffer(os_):
+    q = os_.create_queue("q", capacity=1)
+
+    def consumer(os):
+        yield QueuePend(q)
+        yield Finish()
+
+    def producer(os):
+        yield QueuePost(q, msg="x")
+        yield Finish()
+
+    os_.create_task("cons", 4, consumer)
+    os_.create_task("prod", 9, producer)
+    drain(os_)
+    assert q.msgs == []         # handed straight to the waiter

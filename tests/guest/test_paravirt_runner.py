@@ -1,0 +1,103 @@
+"""ParavirtUcos runner: boot hypercalls, exits, fault/completion plumbing."""
+
+import pytest
+
+from repro.common.errors import GuestPanic
+from repro.guest import layout_guest as GL
+from repro.guest.actions import Compute, Finish, Hypercall
+from repro.guest.ports.paravirt import ParavirtUcos
+from repro.guest.ucos import Ucos
+from repro.kernel.core import MiniNova
+from repro.kernel.exits import ExitHypercall, ExitShutdown
+from repro.kernel.hypercalls import Hc
+
+
+@pytest.fixture
+def env(small_machine):
+    k = MiniNova(small_machine)
+    k.boot()
+    os_ = Ucos("g", tick_hz=100)
+    runner = ParavirtUcos(os_)
+    pd = k.create_vm("g", runner)
+    return small_machine, k, os_, runner, pd
+
+
+def test_boot_sequence_issues_three_hypercalls(env):
+    machine, k, os_, runner, pd = env
+    k._vm_switch(pd)
+    nums = []
+    for _ in range(3):
+        exit_ = runner.step(10**9)
+        assert isinstance(exit_, ExitHypercall)
+        nums.append(exit_.num)
+        k._handle_hypercall(pd, exit_)
+    assert nums == [int(Hc.VIRQ_REGISTER), int(Hc.TIMER_SET),
+                    int(Hc.HWDATA_DEFINE)]
+    # The HWDATA result (physical base) reached the OS.
+    assert os_.hwdata_pa == pd.phys_base + GL.HWDATA_VA
+    # And the virtual timer got armed.
+    assert pd.vcpu.vtimer.period > 0
+
+
+def test_step_runs_guest_after_boot(env):
+    machine, k, os_, runner, pd = env
+    log = []
+
+    def task(os):
+        yield Compute(1000, 10, ((GL.USER_BASE, 4096),))
+        log.append("ran")
+        yield Finish()
+
+    os_.create_task("t", 5, task)
+    k._vm_switch(pd)
+    for _ in range(3):
+        k._handle_hypercall(pd, runner.step(10**9))
+    t0 = machine.now
+    out = runner.step(10_000_000)
+    assert log == ["ran"]
+    assert machine.now > t0
+    assert isinstance(out, ExitShutdown)     # only task finished -> halt
+
+
+def test_task_hypercall_round_trip(env):
+    machine, k, os_, runner, pd = env
+    results = []
+
+    def task(os):
+        r = yield Hypercall(int(Hc.REG_WRITE), (5, 777))
+        r2 = yield Hypercall(int(Hc.REG_READ), (5,))
+        results.append((r, r2))
+        yield Finish()
+
+    os_.create_task("t", 5, task)
+    k._vm_switch(pd)
+    for _ in range(3):
+        k._handle_hypercall(pd, runner.step(10**9))
+    while not results:
+        exit_ = runner.step(10**9)
+        if isinstance(exit_, ExitHypercall):
+            k._handle_hypercall(pd, exit_)
+        elif isinstance(exit_, ExitShutdown):
+            break
+    from repro.kernel.hypercalls import HcStatus
+    assert results == [(HcStatus.SUCCESS, 777)]
+
+
+def test_completion_without_waiter_panics(env):
+    _, k, os_, runner, pd = env
+    runner._boot.clear()
+    with pytest.raises(GuestPanic):
+        runner.complete_hypercall(ExitHypercall(num=1, args=(), result=0))
+
+
+def test_deliver_virq_queues_for_os(env):
+    _, k, os_, runner, pd = env
+    runner.deliver_virq(61)
+    assert os_.pending_irqs == [61]
+
+
+def test_halted_runner_keeps_returning_shutdown(env):
+    _, k, os_, runner, pd = env
+    runner.halted = True
+    assert isinstance(runner.step(100), ExitShutdown)
+    assert isinstance(runner.step(100), ExitShutdown)

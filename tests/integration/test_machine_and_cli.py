@@ -1,0 +1,103 @@
+"""Machine assembly, kernel address spaces, report and CLI plumbing."""
+
+import pytest
+
+from repro.eval.report import scenario_report
+from repro.eval.scenarios import build_native, build_virtualized
+from repro.kernel import layout as L
+from repro.kernel.core import MiniNova
+from repro.machine import (
+    GIC_BASE,
+    GLOBAL_TIMER_BASE,
+    Machine,
+    MachineConfig,
+    PCAP_BASE,
+    PRIV_TIMER_BASE,
+    PRR_LARGE,
+)
+
+
+def test_machine_devices_reachable_over_bus(machine):
+    bus = machine.mem.bus
+    for base in (GIC_BASE, PRIV_TIMER_BASE, GLOBAL_TIMER_BASE, PCAP_BASE,
+                 machine.params.memmap.prr_reg_base):
+        assert bus.is_device(base)
+        bus.read32(base)     # must not bus-error
+
+
+def test_machine_gic_drives_cpu_line(machine):
+    machine.gic.set_enable(61, True)
+    machine.gic.assert_irq(61)
+    assert machine.cpu.irq_line
+    machine.gic.ack()
+    assert not machine.cpu.irq_line
+
+
+def test_machine_prr_page_addresses(machine):
+    assert machine.prr_reg_page_paddr(0) == machine.params.memmap.prr_reg_base
+    assert machine.prr_reg_page_paddr(3) - machine.prr_reg_page_paddr(2) == 4096
+    assert machine.prr_ctl_page_paddr() == machine.prr_reg_page_paddr(0) + 4 * 4096
+
+
+def test_custom_floorplan(machine):
+    m = Machine(MachineConfig(prr_capacities=(PRR_LARGE,), tasks=("fft256",)))
+    assert len(m.prrs) == 1
+    assert m.bitstreams.tasks() == ["fft256"]
+
+
+def test_guest_spaces_disjoint_physical(small_machine):
+    k = MiniNova(small_machine)
+    k.boot()
+
+    class _N:
+        def bind(s, *a): ...
+        def step(s, b): ...
+        def deliver_virq(s, i): ...
+        def complete_hypercall(s, e): ...
+
+    a = k.create_vm("a", _N())
+    b = k.create_vm("b", _N())
+    assert a.phys_base + a.phys_size <= b.phys_base or \
+        b.phys_base + b.phys_size <= a.phys_base
+    assert a.asid != b.asid
+    # Same VA maps to different PAs.
+    pa_a = a.page_table.l2_entry_addr(L.GUEST_KERNEL_CODE)
+    pa_b = b.page_table.l2_entry_addr(L.GUEST_KERNEL_CODE)
+    assert pa_a != pa_b
+
+
+def test_kva_linear_map():
+    pa = L.KERNEL_BASE + 0x1234
+    assert L.kva(pa) == L.KERNEL_LINEAR_BASE + 0x1234
+
+
+def test_report_smoke_virtualized():
+    sc = build_virtualized(1, seed=61, iterations=2, with_workloads=True,
+                           task_set=("qam4",))
+    sc.run_until_completions(2, max_ms=2000)
+    text = scenario_report(sc)
+    assert "virtualized scenario report" in text
+    assert "PRR0" in text and "TLB" in text
+    assert "T_hw ok 2/2" in text
+
+
+def test_report_smoke_native():
+    sc = build_native(seed=62, iterations=2, with_workloads=False,
+                      task_set=("qam4",))
+    sc.run_until_completions(2, max_ms=2000)
+    text = scenario_report(sc)
+    assert "native scenario report" in text
+
+
+def test_cli_inventory(capsys):
+    from repro.__main__ import main
+    assert main(["inventory"]) == 0
+    out = capsys.readouterr().out
+    assert "fft8192" in out and "PRR3" in out
+
+
+def test_cli_run_native(capsys):
+    from repro.__main__ import main
+    assert main(["run", "--native", "--ms", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "native scenario report" in out

@@ -1,0 +1,56 @@
+"""Lightweight guard for the headline result (full contract in benchmarks).
+
+Runs a reduced Table III comparison — native vs. one guest — and checks
+the virtualization overhead exists, is attributed to the right places, and
+stays in a sane band.  Keeps `pytest tests/` meaningful as a gate without
+the multi-minute full sweep.
+"""
+
+import pytest
+
+from repro.eval.measures import extract_overheads
+from repro.eval.scenarios import build_native, build_virtualized
+
+
+@pytest.fixture(scope="module")
+def measured():
+    nat = build_native(seed=2)
+    nat.run_until_completions(15, max_ms=3000)
+    hz = nat.machine.params.cpu.hz
+    native = extract_overheads(nat.tracer).summary_us(hz)
+    sc = build_virtualized(1, seed=2)
+    sc.run_until_completions(15, max_ms=3000)
+    virt = extract_overheads(sc.tracer).summary_us(hz)
+    return native, virt
+
+
+def test_native_has_no_entry_exit_irq_costs(measured):
+    native, _ = measured
+    assert native["entry"] == 0.0
+    assert native["exit"] == 0.0
+    assert native["plirq"] == 0.0
+
+
+def test_virtualization_adds_trap_and_switch_costs(measured):
+    _, virt = measured
+    assert virt["entry"] > 0.3
+    assert virt["exit"] > 0.1
+    assert virt["plirq"] > 0.05
+
+
+def test_total_overhead_band(measured):
+    native, virt = measured
+    ratio = virt["total"] / native["total"]
+    # Paper band is 1.14-1.24x; allow simulator headroom.
+    assert 1.03 < ratio < 1.6
+
+
+def test_execution_dominates_total(measured):
+    _, virt = measured
+    assert virt["execution"] > 0.7 * virt["total"]
+
+
+def test_native_execution_scale(measured):
+    native, _ = measured
+    # The ~15 us scale of the paper's manager routine.
+    assert 8.0 < native["execution"] < 30.0

@@ -1,0 +1,124 @@
+"""Table II: access control between guest user, guest kernel, host kernel.
+
+Exercises the real mechanism end-to-end: a guest address space built by the
+kernel memory manager, the three DACR views, and ARM privilege levels —
+all nine (space x view) combinations of the paper's table.
+"""
+
+import pytest
+
+from repro.common.errors import DataAbort
+from repro.cpu.modes import Mode
+from repro.kernel import layout as L
+from repro.kernel.core import MiniNova
+from repro.kernel.memory import DACR_GUEST_KERNEL, DACR_GUEST_USER, DACR_HOST
+
+
+class _NullRunner:
+    def bind(self, kernel, pd): ...
+    def step(self, budget): ...
+    def deliver_virq(self, irq): ...
+    def complete_hypercall(self, exit_): ...
+
+
+@pytest.fixture
+def env(small_machine):
+    kernel = MiniNova(small_machine)
+    kernel.boot()
+    pd = kernel.create_vm("vm1", _NullRunner())
+    cpu = small_machine.cpu
+    # Activate the VM's space the way a switch would.
+    cpu.sysregs.write("TTBR0", pd.page_table.l1_base, privileged=True)
+    cpu.sysregs.write("CONTEXTIDR", pd.asid, privileged=True)
+    return small_machine, kernel, pd, cpu
+
+
+GUEST_USER_ADDR = L.GUEST_USER_BASE + 0x1000
+GUEST_KERNEL_ADDR = L.GUEST_KERNEL_DATA + 0x100
+HOST_KERNEL_ADDR = L.KERNEL_BASE + 0x2000
+
+
+def _touch(machine, addr, privileged):
+    return machine.mem.touch(addr, privileged=privileged, write=True)
+
+
+def set_view(cpu, dacr):
+    cpu.sysregs.write("DACR", dacr, privileged=True)
+
+
+# -- Row 1: guest user space — full access everywhere ------------------------
+
+def test_guest_user_space_accessible_from_all_views(env):
+    machine, _, _, cpu = env
+    for dacr in (DACR_GUEST_USER, DACR_GUEST_KERNEL, DACR_HOST):
+        set_view(cpu, dacr)
+        _touch(machine, GUEST_USER_ADDR, privileged=False)
+        _touch(machine, GUEST_USER_ADDR, privileged=True)
+
+
+# -- Row 2: guest kernel space — NA from guest user view ----------------------
+
+def test_guest_kernel_space_blocked_in_user_view(env):
+    machine, _, _, cpu = env
+    set_view(cpu, DACR_GUEST_USER)
+    with pytest.raises(DataAbort) as ei:
+        _touch(machine, GUEST_KERNEL_ADDR, privileged=False)
+    assert "domain fault" in str(ei.value)
+
+
+def test_guest_kernel_space_client_in_kernel_views(env):
+    machine, _, _, cpu = env
+    set_view(cpu, DACR_GUEST_KERNEL)
+    _touch(machine, GUEST_KERNEL_ADDR, privileged=False)
+    set_view(cpu, DACR_HOST)
+    _touch(machine, GUEST_KERNEL_ADDR, privileged=True)
+
+
+# -- Row 3: microkernel space — privileged only -------------------------------
+
+def test_microkernel_space_blocked_from_pl0(env):
+    machine, _, _, cpu = env
+    for dacr in (DACR_GUEST_USER, DACR_GUEST_KERNEL):
+        set_view(cpu, dacr)
+        with pytest.raises(DataAbort) as ei:
+            _touch(machine, HOST_KERNEL_ADDR, privileged=False)
+        assert "privileged" in str(ei.value)
+
+
+def test_microkernel_space_open_to_pl1(env):
+    machine, _, _, cpu = env
+    set_view(cpu, DACR_HOST)
+    _touch(machine, HOST_KERNEL_ADDR, privileged=True)
+
+
+# -- The switching itself -----------------------------------------------------
+
+def test_dacr_flip_needs_no_tlb_flush(env):
+    """Fill the TLB in kernel view, flip to user view: protection applies
+    to the *cached* translation immediately (Section III-C)."""
+    machine, _, _, cpu = env
+    set_view(cpu, DACR_GUEST_KERNEL)
+    _touch(machine, GUEST_KERNEL_ADDR, privileged=False)
+    flushes_before = machine.mem.mmu.tlb.stats.flushes
+    set_view(cpu, DACR_GUEST_USER)
+    with pytest.raises(DataAbort):
+        _touch(machine, GUEST_KERNEL_ADDR, privileged=False)
+    assert machine.mem.mmu.tlb.stats.flushes == flushes_before
+
+
+def test_guest_mode_set_hypercall_flips_dacr(env):
+    machine, kernel, pd, cpu = env
+    from repro.kernel.exits import ExitHypercall
+    from repro.kernel.hypercalls import Hc
+
+    kernel.current = pd
+    cpu.set_mode(Mode.USR)
+    results = []
+    pd.runner.complete_hypercall = lambda e: results.append(e.result)
+    kernel._handle_hypercall(pd, ExitHypercall(num=int(Hc.GUEST_MODE_SET),
+                                               args=(0,)))
+    assert machine.mem.mmu.dacr == DACR_GUEST_USER
+    assert not pd.vcpu.guest_kernel_mode
+    kernel._handle_hypercall(pd, ExitHypercall(num=int(Hc.GUEST_MODE_SET),
+                                               args=(1,)))
+    assert machine.mem.mmu.dacr == DACR_GUEST_KERNEL

@@ -1,0 +1,135 @@
+"""Kernel memory manager: space construction, PRR interface exclusivity."""
+
+import pytest
+
+from repro.common.errors import ConfigError, DataAbort
+from repro.kernel import layout as L
+from repro.kernel.core import MiniNova
+from repro.kernel.memory import DACR_HOST, KernelMemory
+from repro.mem.descriptors import AP, decode_l1, L1Type
+
+
+class _N:
+    def bind(self, *a): ...
+    def step(self, b): ...
+    def deliver_virq(self, i): ...
+    def complete_hypercall(self, e): ...
+
+
+@pytest.fixture
+def env(small_machine):
+    k = MiniNova(small_machine)
+    k.boot()
+    return small_machine, k
+
+
+def _activate(machine, pd):
+    machine.cpu.sysregs.write("TTBR0", pd.page_table.l1_base, privileged=True)
+    machine.cpu.sysregs.write("CONTEXTIDR", pd.asid, privileged=True)
+    machine.cpu.sysregs.write("DACR", DACR_HOST, privileged=True)
+
+
+def test_kernel_image_present_in_every_space(env):
+    machine, k = env
+    pd = k.create_vm("a", _N())
+    _activate(machine, pd)
+    machine.mem.touch(L.KERNEL_BASE + 0x100, privileged=True)
+    machine.mem.touch(L.kva(pd.kobj_addr), privileged=True)
+
+
+def test_guest_regions_linear_to_chunk(env):
+    machine, k = env
+    pd = k.create_vm("a", _N())
+    _activate(machine, pd)
+    for va in (L.GUEST_KERNEL_CODE, L.GUEST_KERNEL_DATA,
+               L.GUEST_USER_BASE, L.GUEST_HWDATA_VA):
+        pa, _ = machine.mem.mmu.translate(va, privileged=False, write=False)
+        assert pa == pd.phys_base + va
+
+
+def test_guest_cannot_reach_other_guest(env):
+    machine, k = env
+    a = k.create_vm("a", _N())
+    b = k.create_vm("b", _N())
+    _activate(machine, a)
+    pa, _ = machine.mem.mmu.translate(L.GUEST_USER_BASE, privileged=False,
+                                      write=True)
+    assert a.owns_phys(pa, pa + 4)
+    assert not b.owns_phys(pa, pa + 4)
+
+
+def test_device_windows_privileged_only(env):
+    machine, k = env
+    pd = k.create_vm("a", _N())
+    _activate(machine, pd)
+    from repro.machine import GIC_BASE
+    machine.mem.touch(GIC_BASE, privileged=True)
+    with pytest.raises(DataAbort):
+        machine.mem.touch(GIC_BASE, privileged=False)
+
+
+def test_map_unmap_prr_iface_cycle(env):
+    machine, k = env
+    pd = k.create_vm("a", _N())
+    va = L.GUEST_PRR_IFACE_VA
+    k.kmem.map_prr_iface(pd, 1, va)
+    _activate(machine, pd)
+    pa, _ = machine.mem.mmu.translate(va, privileged=False, write=True)
+    assert pa == machine.prr_reg_page_paddr(1)
+    # Double map rejected.
+    with pytest.raises(ConfigError):
+        k.kmem.map_prr_iface(pd, 1, va + 0x1000)
+    # Unmap returns the va and kills the translation (incl. TLB entry).
+    got_va = k.kmem.unmap_prr_iface(pd, 1)
+    assert got_va == va
+    with pytest.raises(DataAbort):
+        machine.mem.mmu.translate(va, privileged=False, write=False)
+    with pytest.raises(ConfigError):
+        k.kmem.unmap_prr_iface(pd, 1)
+
+
+def test_manager_space_sees_bitstreams_and_controller(env):
+    machine, k = env
+    from repro.hwmgr.service import ManagerService
+    mgr = ManagerService()
+    pd = k.attach_manager(mgr)
+    _activate(machine, pd)
+    # Control page and PRR register pages are user-accessible here.
+    machine.mem.touch(L.MANAGER_CTL_VA, privileged=False)
+    machine.mem.touch(L.GUEST_PRR_IFACE_VA, privileged=False)
+    machine.mem.touch(L.MANAGER_CODE_VA, privileged=False, fetch=True)
+    # PCAP window mapped one page after the control page.
+    pa, _ = machine.mem.mmu.translate(L.MANAGER_CTL_VA + 0x1000,
+                                      privileged=False, write=True)
+    from repro.machine import PCAP_BASE
+    assert pa == PCAP_BASE & ~0xFFF
+
+
+def test_asid_allocation_monotone_and_bounded(env):
+    _, k = env
+    seen = set()
+    for _ in range(5):
+        asid = k.kmem.alloc_asid()
+        assert asid not in seen and 0 < asid < 256
+        seen.add(asid)
+
+
+def test_asid_exhaustion(env):
+    _, k = env
+    km = k.kmem
+    km._next_asid = 256
+    with pytest.raises(ConfigError):
+        km.alloc_asid()
+
+
+def test_guest_table_structure_in_dram(env):
+    """The descriptors are really encoded in simulated memory."""
+    machine, k = env
+    pd = k.create_vm("a", _N())
+    bus = machine.mem.bus
+    l1 = decode_l1(bus.read32(pd.page_table.l1_entry_addr(L.GUEST_USER_BASE)))
+    assert l1.kind == L1Type.SECTION
+    assert l1.domain == L.DOMAIN_GU
+    l1k = decode_l1(bus.read32(pd.page_table.l1_entry_addr(L.GUEST_KERNEL_CODE)))
+    assert l1k.kind == L1Type.PAGE_TABLE
+    assert l1k.domain == L.DOMAIN_GK

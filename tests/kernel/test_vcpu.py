@@ -1,0 +1,152 @@
+"""vCPU content and switch mechanisms (Table I)."""
+
+import pytest
+
+from repro.cpu.modes import Mode
+from repro.cpu.registers import RegisterFile
+from repro.cpu.vfp import VFP_CONTEXT_WORDS
+from repro.kernel.core import KernelConfig, MiniNova
+from repro.kernel.vcpu import Vcpu, VTimerState
+
+
+class _NullRunner:
+    def bind(self, kernel, pd): ...
+    def step(self, budget): ...
+    def deliver_virq(self, irq): ...
+    def complete_hypercall(self, exit_): ...
+
+
+def test_vcpu_save_restore_user_regs():
+    vcpu = Vcpu(vm_id=1)
+    rf = RegisterFile()
+    rf.mode = Mode.USR
+    rf.set(0, 111)
+    rf.set(13, 0x9000)
+    rf.pc = 0x8000
+    vcpu.save_user_regs(rf)
+    rf.set(0, 0)
+    rf.pc = 0
+    vcpu.restore_user_regs(rf)
+    assert rf.get(0) == 111 and rf.pc == 0x8000 and rf.get(13) == 0x9000
+
+
+def test_vtimer_armed_logic():
+    vt = VTimerState()
+    assert not vt.armed
+    vt.period = 100
+    assert vt.armed
+    vt.period = 0
+    vt.remaining = 5
+    assert vt.armed
+
+
+def test_active_context_word_count_matches_table1():
+    # GP regs + timer + virtual privileged registers — the active set.
+    assert Vcpu.ACTIVE_CONTEXT_WORDS == RegisterFile.USER_CONTEXT_WORDS + 10
+
+
+# -- the switch itself (through MiniNova) ------------------------------------
+
+@pytest.fixture
+def two_vms(small_machine):
+    k = MiniNova(small_machine)
+    k.boot()
+    a = k.create_vm("a", _NullRunner())
+    b = k.create_vm("b", _NullRunner())
+    return small_machine, k, a, b
+
+
+def test_switch_loads_ttbr_asid_dacr(two_vms):
+    machine, k, a, b = two_vms
+    k._vm_switch(a)
+    assert machine.mem.mmu.ttbr == a.page_table.l1_base
+    assert machine.mem.mmu.asid == a.asid
+    k._vm_switch(b)
+    assert machine.mem.mmu.ttbr == b.page_table.l1_base
+    assert machine.mem.mmu.asid == b.asid
+    assert machine.cpu.mode is Mode.USR
+    assert not machine.cpu.irq_masked
+
+
+def test_switch_preserves_guest_registers(two_vms):
+    machine, k, a, b = two_vms
+    cpu = machine.cpu
+    k._vm_switch(a)
+    cpu.regs.set(0, 0xAAAA)
+    cpu.regs.pc = 0x1000
+    k._vm_switch(b)
+    cpu.regs.set(0, 0xBBBB)
+    cpu.regs.pc = 0x2000
+    k._vm_switch(a)
+    assert cpu.regs.get(0) == 0xAAAA and cpu.regs.pc == 0x1000
+    k._vm_switch(b)
+    assert cpu.regs.get(0) == 0xBBBB and cpu.regs.pc == 0x2000
+
+
+def test_lazy_switch_disables_vfp_without_saving(two_vms):
+    machine, k, a, b = two_vms
+    cpu = machine.cpu
+    k._vm_switch(a)
+    cpu.vfp.enable()
+    cpu.vfp.owner = a.vm_id
+    saves_before = cpu.vfp.saves
+    k._vm_switch(b)
+    assert not cpu.vfp.enabled            # just disabled...
+    assert cpu.vfp.saves == saves_before  # ...nothing moved yet
+    assert cpu.vfp.owner == a.vm_id
+
+
+def test_lazy_trap_moves_banks_on_first_use(two_vms):
+    machine, k, a, b = two_vms
+    cpu = machine.cpu
+    k._vm_switch(a)
+    cpu.vfp.enable()
+    cpu.vfp.owner = a.vm_id
+    k._vm_switch(b)
+    k._vfp_lazy_switch(b)                 # what the UND trap handler does
+    assert cpu.vfp.enabled
+    assert cpu.vfp.owner == b.vm_id
+    assert cpu.vfp.saves == 1 and cpu.vfp.restores == 1
+    assert b.vcpu.used_vfp
+
+
+def test_eager_config_moves_banks_every_switch(small_machine):
+    k = MiniNova(small_machine, KernelConfig(lazy_vfp=False))
+    k.boot()
+    a = k.create_vm("a", _NullRunner())
+    b = k.create_vm("b", _NullRunner())
+    cpu = small_machine.cpu
+    k._vm_switch(a)
+    r0 = cpu.vfp.restores
+    k._vm_switch(b)
+    assert cpu.vfp.enabled
+    assert cpu.vfp.restores == r0 + 1
+
+
+def test_switch_cost_includes_lazy_savings(small_machine):
+    """An eager switch moves 2x VFP banks: measurably more expensive."""
+    import copy
+    def cost(lazy):
+        from repro.machine import Machine, MachineConfig
+        m = Machine(MachineConfig(tasks=("qam4",)))
+        k = MiniNova(m, KernelConfig(lazy_vfp=lazy))
+        k.boot()
+        a = k.create_vm("a", _NullRunner())
+        b = k.create_vm("b", _NullRunner())
+        m.cpu.vfp.owner = a.vm_id
+        k._vm_switch(a)
+        t0 = m.now
+        k._vm_switch(b)
+        return m.now - t0
+    assert cost(lazy=False) > cost(lazy=True)
+
+
+def test_switch_masks_prev_unmasks_next_irqs(two_vms):
+    machine, k, a, b = two_vms
+    a.vgic.register(61)
+    b.vgic.register(62)
+    k._vm_switch(a)
+    assert machine.gic.enabled[61]
+    k._vm_switch(b)
+    assert not machine.gic.enabled[61]
+    assert machine.gic.enabled[62]

@@ -1,0 +1,125 @@
+"""ARMv7 short-descriptor encode/decode round-trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigError
+from repro.mem.descriptors import (
+    AP,
+    DomainType,
+    L1Type,
+    dacr_get,
+    dacr_set,
+    decode_l1,
+    decode_l2,
+    encode_l1_page_table,
+    encode_l1_section,
+    encode_l2_small_page,
+    l1_index,
+    l2_index,
+)
+
+
+def test_section_roundtrip():
+    w = encode_l1_section(0x1230_0000, ap=AP.FULL, domain=5, ng=True)
+    e = decode_l1(w)
+    assert e.kind == L1Type.SECTION
+    assert e.base == 0x1230_0000
+    assert e.ap == AP.FULL
+    assert e.domain == 5
+    assert e.ng
+
+
+def test_page_table_pointer_roundtrip():
+    w = encode_l1_page_table(0x0040_0400, domain=3)
+    e = decode_l1(w)
+    assert e.kind == L1Type.PAGE_TABLE
+    assert e.base == 0x0040_0400
+    assert e.domain == 3
+
+
+def test_small_page_roundtrip():
+    w = encode_l2_small_page(0xABCD_E000, ap=AP.PRIV_ONLY, ng=False)
+    e = decode_l2(w)
+    assert e.valid
+    assert e.base == 0xABCD_E000
+    assert e.ap == AP.PRIV_ONLY
+    assert not e.ng
+
+
+def test_fault_entries_decode_invalid():
+    assert decode_l1(0).kind == L1Type.FAULT
+    assert not decode_l2(0).valid
+
+
+def test_alignment_enforced():
+    with pytest.raises(ConfigError):
+        encode_l1_section(0x1234, ap=AP.FULL, domain=0)
+    with pytest.raises(ConfigError):
+        encode_l1_page_table(0x123, domain=0)
+    with pytest.raises(ConfigError):
+        encode_l2_small_page(0x123, ap=AP.FULL)
+
+
+def test_domain_range_enforced():
+    with pytest.raises(ConfigError):
+        encode_l1_section(0, ap=AP.FULL, domain=16)
+
+
+def test_index_extraction():
+    va = 0xABC2_3456
+    assert l1_index(va) == 0xABC
+    assert l2_index(va) == 0x23
+
+
+def test_dacr_set_get():
+    d = 0
+    d = dacr_set(d, 0, DomainType.CLIENT)
+    d = dacr_set(d, 5, DomainType.MANAGER)
+    d = dacr_set(d, 15, DomainType.CLIENT)
+    assert dacr_get(d, 0) == DomainType.CLIENT
+    assert dacr_get(d, 5) == DomainType.MANAGER
+    assert dacr_get(d, 15) == DomainType.CLIENT
+    assert dacr_get(d, 1) == DomainType.NO_ACCESS
+
+
+def test_dacr_set_overwrites():
+    d = dacr_set(0, 3, DomainType.MANAGER)
+    d = dacr_set(d, 3, DomainType.NO_ACCESS)
+    assert dacr_get(d, 3) == DomainType.NO_ACCESS
+
+
+def test_dacr_reserved_value_reads_as_no_access():
+    # 0b10 is architecturally reserved.
+    assert dacr_get(0b10 << 4, 2) == DomainType.NO_ACCESS
+
+
+@given(st.integers(min_value=0, max_value=0xFFF),
+       st.sampled_from(list(AP)), st.integers(min_value=0, max_value=15),
+       st.booleans())
+def test_section_roundtrip_property(mb, ap, domain, ng):
+    base = mb << 20
+    e = decode_l1(encode_l1_section(base, ap=ap, domain=domain, ng=ng))
+    assert (e.base, e.ap, e.domain, e.ng) == (base, ap, domain, ng)
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFF),
+       st.sampled_from(list(AP)), st.booleans())
+def test_page_roundtrip_property(pfn, ap, ng):
+    base = pfn << 12
+    e = decode_l2(encode_l2_small_page(base, ap=ap, ng=ng))
+    assert (e.base, e.ap, e.ng) == (base, ap, ng)
+
+
+@given(st.lists(st.tuples(st.integers(0, 15),
+                          st.sampled_from([DomainType.NO_ACCESS,
+                                           DomainType.CLIENT,
+                                           DomainType.MANAGER]))))
+def test_dacr_last_write_wins(writes):
+    d = 0
+    last = {}
+    for dom, t in writes:
+        d = dacr_set(d, dom, t)
+        last[dom] = t
+    for dom, t in last.items():
+        assert dacr_get(d, dom) == t

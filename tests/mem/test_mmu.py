@@ -1,0 +1,165 @@
+"""MMU translation, domain checks, permission checks (Table II machinery)."""
+
+import pytest
+
+from repro.common.errors import DataAbort, PrefetchAbort
+from repro.mem.descriptors import AP, DomainType, dacr_set
+from repro.mem.ptables import PageTable
+
+
+@pytest.fixture
+def mmu_env(memsys):
+    pt = PageTable(memsys.bus, memsys.kernel_frames)
+    mmu = memsys.mmu
+    mmu.set_ttbr(pt.l1_base)
+    mmu.set_dacr(dacr_set(dacr_set(0, 0, DomainType.CLIENT), 1, DomainType.CLIENT))
+    mmu.enabled = True
+    return memsys, pt, mmu
+
+
+def test_disabled_mmu_is_identity(memsys):
+    pa, cyc = memsys.mmu.translate(0x1234_5678, privileged=False, write=False)
+    assert pa == 0x1234_5678 and cyc == 0
+
+
+def test_section_translation(mmu_env):
+    _, pt, mmu = mmu_env
+    pt.map_section(0x4000_0000, 0x0010_0000, ap=AP.FULL, domain=0)
+    pa, cyc = mmu.translate(0x400A_BCDE, privileged=False, write=False)
+    assert pa == 0x001A_BCDE
+    assert cyc > 0           # walk cost on first access
+
+
+def test_page_translation(mmu_env):
+    _, pt, mmu = mmu_env
+    pt.map_page(0x8000_1000, 0x0020_0000, ap=AP.FULL, domain=1)
+    pa, _ = mmu.translate(0x8000_1ABC, privileged=False, write=True)
+    assert pa == 0x0020_0ABC
+
+
+def test_tlb_caches_translation(mmu_env):
+    _, pt, mmu = mmu_env
+    pt.map_section(0x4000_0000, 0x0010_0000, ap=AP.FULL, domain=0)
+    mmu.translate(0x4000_0000, privileged=False, write=False)
+    walks_before = mmu.walks
+    _, cyc = mmu.translate(0x4000_0010, privileged=False, write=False)
+    assert mmu.walks == walks_before       # TLB hit
+    assert cyc == 0
+
+
+def test_unmapped_raises_translation_fault(mmu_env):
+    _, _, mmu = mmu_env
+    with pytest.raises(DataAbort) as ei:
+        mmu.translate(0x9999_0000, privileged=True, write=False)
+    assert "translation fault" in str(ei.value)
+
+
+def test_fetch_fault_is_prefetch_abort(mmu_env):
+    _, _, mmu = mmu_env
+    with pytest.raises(PrefetchAbort):
+        mmu.translate(0x9999_0000, privileged=True, write=False, fetch=True)
+
+
+def test_priv_only_blocks_user(mmu_env):
+    _, pt, mmu = mmu_env
+    pt.map_section(0x4000_0000, 0x0010_0000, ap=AP.PRIV_ONLY, domain=0)
+    mmu.translate(0x4000_0000, privileged=True, write=True)
+    with pytest.raises(DataAbort) as ei:
+        mmu.translate(0x4000_0000, privileged=False, write=False)
+    assert "privileged" in str(ei.value)
+
+
+def test_user_ro_blocks_user_write(mmu_env):
+    _, pt, mmu = mmu_env
+    pt.map_page(0x8000_0000, 0x0020_0000, ap=AP.PRIV_RW_USER_RO, domain=1)
+    mmu.translate(0x8000_0000, privileged=False, write=False)
+    with pytest.raises(DataAbort):
+        mmu.translate(0x8000_0000, privileged=False, write=True)
+    mmu.translate(0x8000_0000, privileged=True, write=True)
+
+
+def test_ap_none_blocks_everyone(mmu_env):
+    _, pt, mmu = mmu_env
+    pt.map_page(0x8000_0000, 0x0020_0000, ap=AP.NONE, domain=1)
+    with pytest.raises(DataAbort):
+        mmu.translate(0x8000_0000, privileged=True, write=False)
+
+
+def test_domain_no_access_blocks_even_privileged(mmu_env):
+    _, pt, mmu = mmu_env
+    pt.map_section(0x4000_0000, 0x0010_0000, ap=AP.FULL, domain=2)
+    # Domain 2 not configured -> NO_ACCESS.
+    with pytest.raises(DataAbort) as ei:
+        mmu.translate(0x4000_0000, privileged=True, write=False)
+    assert "domain fault" in str(ei.value)
+
+
+def test_domain_manager_skips_ap(mmu_env):
+    _, pt, mmu = mmu_env
+    pt.map_section(0x4000_0000, 0x0010_0000, ap=AP.NONE, domain=3)
+    mmu.set_dacr(dacr_set(mmu.dacr, 3, DomainType.MANAGER))
+    pa, _ = mmu.translate(0x4000_0000, privileged=False, write=True)
+    assert pa == 0x0010_0000
+
+
+def test_dacr_change_applies_without_tlb_flush(mmu_env):
+    """The Section III-C trick: flipping DACR retargets permission checks
+    immediately — even for translations already cached in the TLB."""
+    _, pt, mmu = mmu_env
+    pt.map_page(0x8000_0000, 0x0020_0000, ap=AP.FULL, domain=1)
+    mmu.translate(0x8000_0000, privileged=False, write=False)   # now in TLB
+    mmu.set_dacr(dacr_set(mmu.dacr, 1, DomainType.NO_ACCESS))
+    with pytest.raises(DataAbort):
+        mmu.translate(0x8000_0000, privileged=False, write=False)
+    mmu.set_dacr(dacr_set(mmu.dacr, 1, DomainType.CLIENT))
+    mmu.translate(0x8000_0000, privileged=False, write=False)
+
+
+def test_asid_switch_changes_address_space(mmu_env):
+    memsys, pt1, mmu = mmu_env
+    pt2 = PageTable(memsys.bus, memsys.kernel_frames)
+    pt1.map_page(0x8000_0000, 0x0020_0000, ap=AP.FULL, domain=1)
+    pt2.map_page(0x8000_0000, 0x0030_0000, ap=AP.FULL, domain=1)
+    mmu.set_asid(1)
+    pa1, _ = mmu.translate(0x8000_0000, privileged=False, write=False)
+    # Switch space: TTBR + ASID only, no flush.
+    mmu.set_ttbr(pt2.l1_base)
+    mmu.set_asid(2)
+    pa2, _ = mmu.translate(0x8000_0000, privileged=False, write=False)
+    assert (pa1, pa2) == (0x0020_0000, 0x0030_0000)
+    # Switch back: old translation still cached (no walk).
+    mmu.set_ttbr(pt1.l1_base)
+    mmu.set_asid(1)
+    walks = mmu.walks
+    pa1b, _ = mmu.translate(0x8000_0000, privileged=False, write=False)
+    assert pa1b == 0x0020_0000 and mmu.walks == walks
+
+
+def test_global_mapping_shared_across_asids(mmu_env):
+    _, pt, mmu = mmu_env
+    pt.map_section(0x4000_0000, 0x0010_0000, ap=AP.FULL, domain=0, ng=False)
+    mmu.set_asid(1)
+    mmu.translate(0x4000_0000, privileged=True, write=False)
+    walks = mmu.walks
+    mmu.set_asid(2)
+    mmu.translate(0x4000_0000, privileged=True, write=False)
+    assert mmu.walks == walks      # global TLB entry reused
+
+
+def test_fault_carries_walk_cycles(mmu_env):
+    _, _, mmu = mmu_env
+    try:
+        mmu.translate(0x9999_0000, privileged=True, write=False)
+        raise AssertionError("should fault")
+    except DataAbort as e:
+        assert getattr(e, "cycles", None) is not None
+
+
+def test_probe_does_not_perturb(mmu_env):
+    _, pt, mmu = mmu_env
+    pt.map_page(0x8000_0000, 0x0020_0000, ap=AP.FULL, domain=1)
+    walks = mmu.walks
+    e = mmu.probe(0x8000_0000)
+    assert e is not None and e.pfn == 0x0020_0000 >> 12
+    assert mmu.walks == walks
+    assert mmu.probe(0x9999_0000) is None

@@ -1,0 +1,124 @@
+"""ASID-tagged TLB semantics — the mechanism behind cheap VM switches."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.common.params import TlbParams
+from repro.mem.descriptors import AP
+from repro.mem.tlb import Tlb, TlbEntry
+
+
+def entry(vpn, asid=1, pfn=None, global_=False):
+    return TlbEntry(vpn=vpn, pfn=pfn if pfn is not None else vpn + 100,
+                    asid=asid, ap=AP.FULL, domain=1, global_=global_)
+
+
+def make(entries=8, ways=2):
+    return Tlb(TlbParams(entries=entries, ways=ways))
+
+
+def test_miss_then_hit():
+    t = make()
+    assert t.lookup(5, 1) is None
+    t.insert(entry(5, asid=1))
+    e = t.lookup(5, 1)
+    assert e is not None and e.pfn == 105
+    assert t.stats.hits == 1 and t.stats.misses == 1
+
+
+def test_asid_isolation():
+    """Two VMs map the same VPN differently; no flush needed between them."""
+    t = make()
+    t.insert(entry(5, asid=1, pfn=111))
+    t.insert(entry(5, asid=2, pfn=222))
+    assert t.lookup(5, 1).pfn == 111
+    assert t.lookup(5, 2).pfn == 222
+
+
+def test_global_entries_match_any_asid():
+    t = make()
+    t.insert(entry(7, asid=0, global_=True))
+    assert t.lookup(7, 1) is not None
+    assert t.lookup(7, 42) is not None
+
+
+def test_insert_replaces_same_key():
+    t = make()
+    t.insert(entry(5, asid=1, pfn=100))
+    t.insert(entry(5, asid=1, pfn=200))
+    assert t.lookup(5, 1).pfn == 200
+    # Only one copy resides.
+    assert t.resident == 1
+
+
+def test_lru_within_set():
+    t = make(entries=4, ways=2)    # 2 sets
+    # VPNs 0, 2, 4 all land in set 0.
+    t.insert(entry(0))
+    t.insert(entry(2))
+    t.lookup(0, 1)                 # refresh 0
+    t.insert(entry(4))             # evicts 2
+    assert t.lookup(0, 1) is not None
+    assert t.lookup(2, 1) is None
+
+
+def test_flush_all():
+    t = make()
+    t.insert(entry(1))
+    t.insert(entry(2, global_=True))
+    t.flush_all()
+    assert t.resident == 0
+    assert t.stats.flushes == 1
+
+
+def test_flush_asid_spares_globals_and_other_asids():
+    t = make()
+    t.insert(entry(1, asid=1))
+    t.insert(entry(2, asid=2))
+    t.insert(entry(3, global_=True))
+    dropped = t.flush_asid(1)
+    assert dropped == 1
+    assert t.lookup(1, 1) is None
+    assert t.lookup(2, 2) is not None
+    assert t.lookup(3, 9) is not None
+
+
+def test_flush_va_single_page():
+    t = make()
+    t.insert(entry(1, asid=1))
+    t.insert(entry(2, asid=1))
+    assert t.flush_va(1, 1)
+    assert not t.flush_va(1, 1)
+    assert t.lookup(2, 1) is not None
+
+
+def test_clear_random_sets():
+    t = make(entries=8, ways=2)
+    for i in range(8):
+        t.insert(entry(i))
+    t.clear_random_sets(0.5, np.random.default_rng(1))
+    assert t.resident <= 6
+
+
+@settings(max_examples=50)
+@given(st.lists(st.tuples(st.integers(0, 30), st.integers(1, 3)),
+                min_size=1, max_size=60))
+def test_capacity_invariant(ops):
+    t = make(entries=8, ways=2)
+    for vpn, asid in ops:
+        t.insert(entry(vpn, asid=asid))
+    assert t.resident <= 8
+
+
+@settings(max_examples=50)
+@given(st.lists(st.tuples(st.integers(0, 10), st.integers(1, 2)),
+                min_size=1, max_size=40))
+def test_lookup_never_returns_wrong_asid(ops):
+    t = make()
+    for vpn, asid in ops:
+        t.insert(entry(vpn, asid=asid, pfn=vpn * 10 + asid))
+    for vpn, asid in ops:
+        e = t.lookup(vpn, asid)
+        if e is not None and not e.global_:
+            assert e.asid == asid
+            assert e.pfn == vpn * 10 + asid
