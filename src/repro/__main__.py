@@ -2,7 +2,11 @@
 
 Commands:
 
-* ``run``      — run a virtualized (or native) scenario and print a report
+* ``run``      — run a virtualized (or native) scenario and print a report;
+  ``--trace-out FILE`` additionally writes a Chrome trace-event JSON
+  (load it in chrome://tracing or https://ui.perfetto.dev) and
+  ``--metrics`` prints the kernel's counter/histogram registry
+  (see docs/OBSERVABILITY.md for the event and metric catalog)
 * ``table3``   — regenerate Table III (+ Fig. 9) and print both
 * ``inventory``— list the hardware-task library and the fabric floorplan
 """
@@ -18,14 +22,32 @@ from .common.units import cycles_to_ms
 def cmd_run(args: argparse.Namespace) -> int:
     from .eval.report import scenario_report
     from .eval.scenarios import build_native, build_virtualized
+    from .kernel.core import KernelConfig
 
     if args.native:
         sc = build_native(seed=args.seed, verify=args.verify)
     else:
+        kcfg = KernelConfig(trace_verbose=args.trace_verbose)
         sc = build_virtualized(args.guests, seed=args.seed,
-                               verify=args.verify)
+                               verify=args.verify, kernel_config=kcfg)
     sc.run_ms(args.ms)
     print(scenario_report(sc))
+    if args.trace_out:
+        from .obs.export import write_chrome_trace
+        try:
+            n = write_chrome_trace(sc.tracer, args.trace_out,
+                                   hz=sc.machine.params.cpu.hz)
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.trace_out}: {exc}",
+                  file=sys.stderr)
+            return 1
+        dropped = sc.tracer.dropped
+        print(f"\nwrote {n} trace events to {args.trace_out}"
+              + (f" ({dropped} oldest events dropped by the ring)"
+                 if dropped else ""))
+    if args.metrics:
+        print()
+        print(sc.metrics.render())
     return 0
 
 
@@ -71,6 +93,15 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--seed", type=int, default=1)
     p_run.add_argument("--verify", action="store_true",
                        help="check every hardware result against the golden model")
+    p_run.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="write a Chrome trace-event JSON "
+                            "(chrome://tracing / Perfetto) after the run")
+    p_run.add_argument("--trace-verbose", action="store_true",
+                       help="also emit high-rate events (per-hypercall, "
+                            "per-vIRQ; see docs/OBSERVABILITY.md)")
+    p_run.add_argument("--metrics", action="store_true",
+                       help="print the kernel metrics registry "
+                            "(counters, gauges, histograms)")
     p_run.set_defaults(fn=cmd_run)
 
     p_t3 = sub.add_parser("table3", help="regenerate Table III and Fig. 9")

@@ -1,6 +1,8 @@
 """Extract the Table III overhead classes from a kernel/native trace.
 
-Event protocol (emitted by the kernel and the native system):
+Built on the span/chain queries of :class:`repro.obs.trace.Tracer`; the
+event protocol itself (names, info keys, pairing rules) is the documented
+instrumentation contract of docs/OBSERVABILITY.md:
 
 * ``hwreq_trap(vm, hc)``     — SVC trap of an HC_HWTASK_REQUEST
 * ``mgr_exec_start(vm)``     — manager's first instruction for the request
@@ -17,6 +19,11 @@ Overhead classes (paper definitions):
 * **PL IRQ entry**      = exception vector -> vIRQ injected (routing +
   injection halves summed per IRQ instance)
 * **Total overhead**    = entry + execution + exit
+
+The request lifecycle is paired with :meth:`Tracer.chains` (keyed by VM:
+only complete trap->start->end->resumed chains are counted, exactly the
+original extraction semantics) and the PL-IRQ halves with
+:meth:`Tracer.intervals` (keyed by the distribution sequence number).
 """
 
 from __future__ import annotations
@@ -26,7 +33,10 @@ from statistics import mean
 
 from ..common.units import cycles_to_us
 from ..kernel.hypercalls import Hc
-from ..kernel.trace import Tracer
+from ..obs.trace import Tracer
+
+#: The guaranteed event chain of one hardware-task request (docs/OBSERVABILITY.md).
+HWREQ_CHAIN = ("hwreq_trap", "mgr_exec_start", "mgr_exec_end", "hwreq_resumed")
 
 
 @dataclass
@@ -65,47 +75,28 @@ def _trimmed_mean(samples: list[int], trim: float) -> float:
 
 def extract_overheads(tracer: Tracer) -> OverheadSamples:
     out = OverheadSamples()
-    open_trap: dict[int, int] = {}       # vm -> trap time
-    open_exec: dict[int, int] = {}
-    open_exit: dict[int, tuple[int, int, int]] = {}  # vm -> (entry, exec, end_t)
-    open_route: dict[int, int] = {}      # seq -> route start
-    route_cost: dict[int, int] = {}      # seq -> routing half
-    open_inject: dict[int, int] = {}
 
-    for e in tracer.events:
-        if e.name == "hwreq_trap" and e.info.get("hc") == int(Hc.HWTASK_REQUEST):
-            open_trap[e.info["vm"]] = e.t
-        elif e.name == "mgr_exec_start":
-            vm = e.info["vm"]
-            if vm in open_trap:
-                open_exec[vm] = e.t
-        elif e.name == "mgr_exec_end":
-            vm = e.info["vm"]
-            if vm in open_exec:
-                trap_t = open_trap.pop(vm)
-                start_t = open_exec.pop(vm)
-                open_exit[vm] = (start_t - trap_t, e.t - start_t, e.t)
-        elif e.name == "hwreq_resumed":
-            vm = e.info["vm"]
-            rec = open_exit.pop(vm, None)
-            if rec is not None:
-                entry, execution, end_t = rec
-                exit_ = e.t - end_t
-                out.entry.append(entry)
-                out.execution.append(execution)
-                out.exit.append(exit_)
-                out.total.append(entry + execution + exit_)
-        elif e.name == "plirq_route_start":
-            open_route[e.info["seq"]] = e.t
-        elif e.name == "plirq_route_end":
-            seq = e.info["seq"]
-            if seq in open_route:
-                route_cost[seq] = e.t - open_route.pop(seq)
-        elif e.name == "plirq_inject_start":
-            open_inject[e.info["seq"]] = e.t
-        elif e.name == "plirq_inject_end":
-            seq = e.info["seq"]
-            if seq in open_inject:
-                inject = e.t - open_inject.pop(seq)
-                out.plirq.append(route_cost.pop(seq, 0) + inject)
+    # Request lifecycle: only chains opened by an actual HWTASK_REQUEST
+    # trap count (releases/attaches share the trap event name).
+    for trap, exec_start, exec_end, resumed in tracer.chains(
+            HWREQ_CHAIN, key="vm",
+            first_match={"hc": int(Hc.HWTASK_REQUEST)}):
+        entry = exec_start.t - trap.t
+        execution = exec_end.t - exec_start.t
+        exit_ = resumed.t - exec_end.t
+        out.entry.append(entry)
+        out.execution.append(execution)
+        out.exit.append(exit_)
+        out.total.append(entry + execution + exit_)
+
+    # PL-IRQ distribution: the routing half (exception vector -> vGIC
+    # pend) plus the injection half, summed per sequence number.  An
+    # injection whose routing half is missing (e.g. it fell out of the
+    # ring) counts its injection half alone.
+    route_cost = {
+        s.info["seq"]: d
+        for d, s, _ in tracer.spans("plirq_route", key="seq")
+    }
+    for d, s, _ in tracer.spans("plirq_inject", key="seq"):
+        out.plirq.append(route_cost.pop(s.info["seq"], 0) + d)
     return out

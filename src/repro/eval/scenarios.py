@@ -69,6 +69,10 @@ class VirtScenario:
     def tracer(self):
         return self.kernel.tracer
 
+    @property
+    def metrics(self):
+        return self.kernel.metrics
+
     def total_completions(self) -> int:
         return sum(g.thw_stats.completions for g in self.guests)
 
@@ -93,6 +97,10 @@ class NativeScenario:
     @property
     def tracer(self):
         return self.system.tracer
+
+    @property
+    def metrics(self):
+        return self.system.metrics
 
     def total_completions(self) -> int:
         return self.guest.thw_stats.completions

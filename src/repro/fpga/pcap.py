@@ -47,6 +47,20 @@ class Pcap:
         #: Hook: called (prr_id, task_name) when a reconfiguration lands.
         self.on_done: Callable[[int, str], None] | None = None
         self._regs = {"src": 0, "len": 0, "target": 0}
+        # Observability (attached by the kernel / native system at boot):
+        # pcap_xfer_start/_end span + transfer counters, docs/OBSERVABILITY.md.
+        self._tracer = None
+        self._m_transfers = None
+        self._m_bytes = None
+        self._m_xfer_cycles = None
+
+    def attach_obs(self, tracer=None, metrics=None) -> None:
+        """Wire this port into an observability layer (idempotent)."""
+        self._tracer = tracer
+        if metrics is not None:
+            self._m_transfers = metrics.counter("pcap.transfers")
+            self._m_bytes = metrics.counter("pcap.bytes_moved")
+            self._m_xfer_cycles = metrics.histogram("pcap.xfer_cycles")
 
     # -- direct API (used by the Hardware Task Manager) --------------------
 
@@ -70,6 +84,13 @@ class Pcap:
         self.bytes_moved += bitstream.size
         self.controller.begin_reconfig(prr_id)
         delay = self.transfer_cycles(bitstream.size)
+        if self._tracer is not None:
+            self._tracer.mark("pcap_xfer_start", cat="pcap", prr=prr_id,
+                              task=task, bytes=bitstream.size)
+        if self._m_transfers is not None:
+            self._m_transfers.inc()
+            self._m_bytes.inc(bitstream.size)
+            self._m_xfer_cycles.observe(delay)
         self.sim.schedule(delay, self._complete, prr_id, task,
                           label=f"pcap-{task}->prr{prr_id}")
         return delay
@@ -79,6 +100,9 @@ class Pcap:
         self.controller.finish_reconfig(prr_id, make_core(task))
         self.busy = False
         self.done_flag = True
+        if self._tracer is not None:
+            self._tracer.mark("pcap_xfer_end", cat="pcap", prr=prr_id,
+                              task=task)
         if self.int_en:
             self.gic.assert_irq(IRQ_PCAP_DONE)
         if self.on_done is not None:

@@ -18,6 +18,7 @@ from ...kernel import layout as KL
 from ...kernel.hypercalls import Hc, HcStatus
 from ...kernel.trace import Tracer
 from ...machine import GIC_BASE, Machine
+from ...obs.metrics import MetricsRegistry
 from ...mem.descriptors import AP, DomainType, SECTION_SIZE, dacr_set
 from ...mem.ptables import PageTable
 from ..costs import CODE_HC_WRAPPER, UCOS_COSTS as UC
@@ -47,6 +48,7 @@ class NativeSystem:
         self.sim = machine.sim
         self.tracer = Tracer(enabled=trace)
         self.tracer.bind(self.sim.clock)
+        self.metrics = MetricsRegistry()
         self.phys_base = machine.mem.guest_frames.alloc(16 << 20, align=1 << 20)
         self.exec = GuestExecutor(self.cpu, addr_base=self.phys_base,
                                   stream=f"native-{os.name}")
@@ -92,6 +94,8 @@ class NativeSystem:
         # Enable timer + PCAP IRQs; PL lines are enabled per allocation.
         for irq in (IRQ_PRIVATE_TIMER, IRQ_PCAP_DONE):
             self.machine.gic.set_enable(irq, True)
+        self.machine.pcap.attach_obs(tracer=self.tracer, metrics=self.metrics)
+        self.sim.attach_metrics(self.metrics)
         self.machine.private_timer.program(self._tick_cycles)
         self.booted = True
 
@@ -175,17 +179,21 @@ class NativeSystem:
         return ("ran", None)
 
     def do_hw_request(self, tcb: Tcb, req):
-        """The manager as a direct function call (Table III native row)."""
-        self.tracer.mark("hwreq_trap", vm=0, hc=int(Hc.HWTASK_REQUEST))
-        self.tracer.mark("mgr_exec_start", vm=0)
-        r = self.allocator.allocate(AllocRequest(
-            client_vm=0, task_id=req.task_id,
-            iface_va=req.iface_va, data_pa=self.os.hwdata_pa + (req.data_va - GL.HWDATA_VA),
-            data_size=GL.HWDATA_SIZE - (req.data_va - GL.HWDATA_VA),
-            want_irq=req.want_irq))
-        self.tracer.mark("mgr_exec_end", vm=0)
-        self.tracer.mark("hwreq_done", vm=0, status=int(r.status))
-        self.tracer.mark("hwreq_resumed", vm=0)
+        """The manager as a direct function call (Table III native row):
+        trap/exec/resume collapse into one call, so the entry/exit spans
+        have zero width by construction."""
+        self.tracer.mark("hwreq_trap", cat="hwmgr", vm=0,
+                         hc=int(Hc.HWTASK_REQUEST))
+        with self.tracer.span("mgr_exec", cat="hwmgr", vm=0):
+            r = self.allocator.allocate(AllocRequest(
+                client_vm=0, task_id=req.task_id,
+                iface_va=req.iface_va,
+                data_pa=self.os.hwdata_pa + (req.data_va - GL.HWDATA_VA),
+                data_size=GL.HWDATA_SIZE - (req.data_va - GL.HWDATA_VA),
+                want_irq=req.want_irq))
+        self.metrics.counter("hwmgr.requests", kind="request").inc()
+        self.tracer.mark("hwreq_done", cat="hwmgr", vm=0, status=int(r.status))
+        self.tracer.mark("hwreq_resumed", cat="hwmgr", vm=0)
         tcb.inbox, tcb.has_inbox = (r.status, r.prr_id, r.irq_id), True
         return ("ran", None)
 

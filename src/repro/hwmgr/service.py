@@ -62,9 +62,13 @@ class ManagerService:
         if req is None:
             return ExitIdle()
         while req is not None:
-            kernel.tracer.mark("mgr_exec_start", vm=req.pd.vm_id)
-            result = self._handle(req)
-            kernel.tracer.mark("mgr_exec_end", vm=req.pd.vm_id)
+            exec_start = kernel.sim.now
+            # The mgr_exec span (Table III "HW Manager execution").
+            with kernel.tracer.span("mgr_exec", cat="hwmgr", vm=req.pd.vm_id):
+                result = self._handle(req)
+            kernel.metrics.counter("hwmgr.requests", kind=req.kind).inc()
+            kernel.metrics.histogram("hwmgr.exec_cycles").observe(
+                kernel.sim.now - exec_start)
             kernel.manager_post_result(req, result)
             self.requests_handled += 1
             req = kernel.manager_take_request()

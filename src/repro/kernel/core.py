@@ -30,6 +30,8 @@ from ..cpu.vfp import VFP_CONTEXT_WORDS
 from ..gic import gic as gicdev
 from ..gic.irqs import IRQ_PCAP_DONE, IRQ_PRIVATE_TIMER, SPURIOUS_IRQ, pl_line
 from ..machine import GIC_BASE, Machine
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import DEFAULT_RING_CAPACITY
 from . import layout as L
 from .costs import KERNEL_COSTS as C
 from .exits import (
@@ -44,7 +46,7 @@ from .ivc import IVC_IRQ, IvcRouter
 from .memory import DACR_GUEST_KERNEL, DACR_GUEST_USER, DACR_HOST, KernelMemory
 from .pd import PdState, ProtectionDomain
 from .sched import Scheduler
-from .trace import TraceEvent, Tracer
+from .trace import Tracer
 from .vcpu import Vcpu
 from .vgic import VGic
 
@@ -63,6 +65,11 @@ class KernelConfig:
     lazy_vfp: bool = True          # Table I: VFP is lazy-switched
     use_asid: bool = True          # Section III-C: no TLB flush on switch
     trace: bool = True
+    #: Ring capacity of the tracer (oldest events drop beyond this).
+    trace_capacity: int = DEFAULT_RING_CAPACITY
+    #: Also emit the high-rate events (per-hypercall, per-vIRQ-injection,
+    #: timer fires) documented as *verbose* in docs/OBSERVABILITY.md.
+    trace_verbose: bool = False
     #: Priority levels: guests at 1, services (manager) at 2, idle 0.
     guest_priority: int = 1
     service_priority: int = 2
@@ -91,11 +98,21 @@ class MiniNova:
         self.cpu = machine.cpu
         self.mem = machine.mem
         self.sim = machine.sim
-        self.tracer = Tracer(enabled=self.config.trace)
+        self.tracer = Tracer(enabled=self.config.trace,
+                             capacity=self.config.trace_capacity,
+                             verbose=self.config.trace_verbose)
         self.tracer.bind(self.sim.clock)
+        self.metrics = MetricsRegistry()
+        self._m_vm_switches = self.metrics.counter("kernel.vm_switches")
+        self._m_vm_switch_cycles = self.metrics.histogram(
+            "kernel.vm_switch_cycles")
+        self._m_irqs = self.metrics.counter("kernel.irqs")
+        self._m_hypercall_cycles = self.metrics.histogram(
+            "kernel.hypercall_cycles")
         self.kmem = KernelMemory(machine)
         self.sched = Scheduler(
-            ms_to_cycles(self.config.quantum_ms, machine.params.cpu.hz))
+            ms_to_cycles(self.config.quantum_ms, machine.params.cpu.hz),
+            metrics=self.metrics)
         self.ivc = IvcRouter()
         self.syms = L.SYMS
         self.domains: dict[int, ProtectionDomain] = {}
@@ -135,6 +152,10 @@ class MiniNova:
         # per-VM and routed through the vGICs).
         for irq in (IRQ_PRIVATE_TIMER, IRQ_PCAP_DONE):
             self.machine.gic.set_enable(irq, True)
+        # Wire the shared-device and engine probes into this kernel's
+        # observability layer (PCAP reconfigurations, sim event counts).
+        self.machine.pcap.attach_obs(tracer=self.tracer, metrics=self.metrics)
+        self.sim.attach_metrics(self.metrics)
         cpu.irq_masked = False
         self.booted = True
 
@@ -240,14 +261,15 @@ class MiniNova:
 
     def _vm_switch(self, to: ProtectionDomain) -> None:
         cpu, syms = self.cpu, self.syms
+        switch_start = self.sim.now
         prev_ledger = cpu.set_ledger("vm_switch")
         # The switch runs in kernel context (reached via SVC/IRQ on real
         # hardware; the run loop raises privilege explicitly here).
         cpu.set_mode(Mode.SVC)
         cpu.irq_masked = True
         prev = self.current
-        self.tracer.mark("vm_switch", frm=prev.vm_id if prev else 0,
-                         to=to.vm_id)
+        self.tracer.mark("vm_switch", cat="sched",
+                         frm=prev.vm_id if prev else 0, to=to.vm_id)
         cpu.code(syms.scheduler, C.scheduler_pick)
         # The scheduler traverses the double-linked priority circles
         # (Fig. 3): one PD record per runnable domain.  Other domains'
@@ -284,6 +306,7 @@ class MiniNova:
         if not self.config.use_asid:
             # Ablation: pretend the TLB is not ASID-tagged.
             self.mem.mmu.tlb.flush_all()
+            self.metrics.counter("kernel.tlb_flush", kind="switch_all").inc()
             cpu.instr(C.tlb_flush_asid)
 
         # VFP policy (Table I): lazy = just disable; eager = move both banks.
@@ -302,6 +325,8 @@ class MiniNova:
         self._program_timer(to)
         to.switches_in += 1
         self.vm_switch_count += 1
+        self._m_vm_switches.inc()
+        self._m_vm_switch_cycles.observe(self.sim.now - switch_start)
         self.current = to
         # Drop to PL0 for the incoming domain; IRQs are live while it runs.
         cpu.set_mode(Mode.USR)
@@ -370,6 +395,9 @@ class MiniNova:
             cpu.return_from_exception()
             cpu.set_ledger(prev_ledger)
             return
+        self._m_irqs.inc()
+        if self.tracer.verbose:
+            self.tracer.mark("irq_phys", cat="vgic", irq=irq)
         cpu.code(syms.vgic_inject, C.vgic_ack_and_route)
         cpu.write32(_ICCEOIR, irq)              # paper: EOI before injecting
 
@@ -394,10 +422,9 @@ class MiniNova:
         """Hardware-task IRQ -> owning VM's vGIC (Fig. 6)."""
         self._plirq_seq += 1
         seq = self._plirq_seq
-        if self.tracer.enabled:
-            self.tracer.events.append(TraceEvent(
-                self._irq_vector_t, "plirq_route_start",
-                {"seq": seq, "irq": irq}))
+        # Measured from the exception vector (paper), not from here.
+        self.tracer.mark_at(self._irq_vector_t, "plirq_route_start",
+                            cat="vgic", seq=seq, irq=irq)
         target: ProtectionDomain | None = None
         for prr in self.machine.prrs:
             if prr.irq_line == line and prr.client_vm is not None:
@@ -411,14 +438,15 @@ class MiniNova:
         if target is not None and target.vgic.owns(irq):
             target.vgic.pend(irq)
             cpu.store(L.kva(target.kobj_addr + 0x100 + 4 * irq))
-            self.tracer.mark("plirq_route_end", seq=seq, vm=target.vm_id)
+            self.tracer.mark("plirq_route_end", cat="vgic", seq=seq,
+                             vm=target.vm_id)
             if target is self.current:
                 # Paper: handled immediately when the VM is running.
                 self._inject_virq(target, measure_pl=True, seq=seq)
             else:
                 target.vcpu.vregs["_pending_pl_seq"] = seq
         else:
-            self.tracer.mark("plirq_route_end", seq=seq, vm=0)
+            self.tracer.mark("plirq_route_end", cat="vgic", seq=seq, vm=0)
 
     def _timer_fired(self) -> None:
         purpose = self._timer_purpose
@@ -426,6 +454,9 @@ class MiniNova:
         if purpose is None or self.current is None:
             return
         kind, pd = purpose
+        if self.tracer.verbose:
+            self.tracer.mark("timer_fire", cat="sched", kind=kind,
+                             vm=pd.vm_id)
         if pd is not self.current:
             # Fired across a switch (e.g. during a manager preemption):
             # record the overdue tick; switch-in delivery handles it.
@@ -465,7 +496,8 @@ class MiniNova:
             return
         cpu = self.cpu
         if measure_pl and seq is not None:
-            self.tracer.mark("plirq_inject_start", seq=seq, vm=pd.vm_id)
+            self.tracer.mark("plirq_inject_start", cat="vgic", seq=seq,
+                             vm=pd.vm_id)
         cpu.code(self.syms.vgic_inject, C.vgic_inject)
         # Scan the pending region of the vIRQ record list for the winner,
         # then mark it delivered and fetch the guest's IRQ entry address.
@@ -479,7 +511,11 @@ class MiniNova:
             pd.vcpu.guest_kernel_mode = True
             cpu.sysregs.write("DACR", DACR_GUEST_KERNEL, privileged=True)
         if measure_pl and seq is not None:
-            self.tracer.mark("plirq_inject_end", seq=seq, vm=pd.vm_id)
+            self.tracer.mark("plirq_inject_end", cat="vgic", seq=seq,
+                             vm=pd.vm_id)
+        self.metrics.counter("kernel.virq_injected", vm=pd.vm_id).inc()
+        if self.tracer.verbose:
+            self.tracer.mark("virq_inject", cat="vgic", vm=pd.vm_id, irq=irq)
         pd.runner.deliver_virq(irq)
 
     # ------------------------------------------------------------- guest exits
@@ -542,6 +578,8 @@ class MiniNova:
                 cpu.load(L.kva(pd.vcpu.save_area + 0x100 + 4 * w))
         cpu.vfp.enable()
         pd.vcpu.used_vfp = True
+        self.metrics.counter("kernel.vfp_lazy_switches").inc()
+        self.tracer.mark("vfp_lazy_switch", cat="sched", vm=pd.vm_id)
         cpu.return_from_exception()
         cpu.set_ledger(prev_ledger)
 
@@ -557,23 +595,30 @@ class MiniNova:
         cpu.irq_masked = True
         cpu.code(self.syms.exc_return, C.exc_return_path)
         cpu.return_from_exception()
-        self.tracer.mark("hwreq_resumed", vm=pd.vm_id)
+        self.tracer.mark("hwreq_resumed", cat="hwmgr", vm=pd.vm_id)
         pd.runner.complete_hypercall(exit_)
 
     def _handle_hypercall(self, pd: ProtectionDomain, exit_: ExitHypercall) -> None:
         cpu, syms = self.cpu, self.syms
         prev_ledger = cpu.set_ledger("hypercall")
+        hc_start = self.sim.now
         self.hypercall_count += 1
         pd.hypercalls += 1
         try:
             num = Hc(exit_.num)
         except ValueError:
+            self.metrics.counter("kernel.hypercalls", hc="INVALID").inc()
             exit_.result = HcStatus.ERR_ARG
             pd.runner.complete_hypercall(exit_)
             cpu.set_ledger(prev_ledger)
             return
+        self.metrics.counter("kernel.hypercalls", hc=num.name).inc()
+        if self.tracer.verbose:
+            self.tracer.mark("hypercall", cat="hypercall", vm=pd.vm_id,
+                             hc=int(num))
         if num in (Hc.HWTASK_REQUEST, Hc.HWTASK_RELEASE, Hc.HWTASK_IRQ_ATTACH):
-            self.tracer.mark("hwreq_trap", vm=pd.vm_id, hc=int(num))
+            self.tracer.mark("hwreq_trap", cat="hwmgr", vm=pd.vm_id,
+                             hc=int(num))
         cpu.take_exception("svc")
         cpu.code(syms.svc_entry, C.svc_entry_stub)
         for w in range(4):                     # spill r0-r3 into the PD frame
@@ -587,6 +632,10 @@ class MiniNova:
         if not deferred:
             cpu.code(syms.exc_return, C.exc_return_path)
             cpu.return_from_exception()
+            # Deferred requests park the vCPU until the manager posts the
+            # result; only the synchronous round-trip is a "hypercall
+            # latency" (the deferred path is measured by the hwreq spans).
+            self._m_hypercall_cycles.observe(self.sim.now - hc_start)
             pd.runner.complete_hypercall(exit_)
         cpu.set_ledger(prev_ledger)
 
@@ -603,20 +652,24 @@ class MiniNova:
 
         if num is Hc.CACHE_FLUSH_ALL:
             cpu.instr(C.cache_flush_call)
+            self.metrics.counter("kernel.cache_flush", kind="all").inc()
             self.sim.clock.advance(self.mem.caches.flush_all())
             exit_.result = HcStatus.SUCCESS
         elif num is Hc.CACHE_INV_LINE:
             cpu.instr(C.cache_flush_call)
+            self.metrics.counter("kernel.cache_flush", kind="line").inc()
             pa = pd.va_to_pa(arg(0))
             if pa is not None:
                 self.sim.clock.advance(self.mem.caches.invalidate_line(pa))
             exit_.result = HcStatus.SUCCESS
         elif num is Hc.TLB_FLUSH_ASID:
             cpu.instr(C.tlb_flush_asid)
+            self.metrics.counter("kernel.tlb_flush", kind="asid").inc()
             self.mem.mmu.tlb.flush_asid(pd.asid)
             exit_.result = HcStatus.SUCCESS
         elif num is Hc.TLB_FLUSH_VA:
             cpu.instr(C.tlb_flush_va)
+            self.metrics.counter("kernel.tlb_flush", kind="va").inc()
             self.mem.mmu.tlb.flush_va(arg(0) >> 12, pd.asid)
             exit_.result = HcStatus.SUCCESS
         elif num in (Hc.IRQ_ENABLE, Hc.IRQ_DISABLE):
@@ -819,7 +872,7 @@ class MiniNova:
         # The requester's vCPU is parked inside the hypercall until the
         # manager posts the result — it must not be scheduled meanwhile.
         self.sched.suspend(pd)
-        self.tracer.mark("hwreq_queued", vm=pd.vm_id)
+        self.tracer.mark("hwreq_queued", cat="hwmgr", vm=pd.vm_id)
         return True
 
     # ---------------------------------------------- manager kernel crossings
@@ -935,7 +988,8 @@ class MiniNova:
         req.pd.vcpu.vregs["_deferred_exit"] = req.exit_
         self.sched.resume(req.pd, front=True)   # unpark the requester
         status = result[0] if isinstance(result, tuple) else result
-        self.tracer.mark("hwreq_done", vm=req.pd.vm_id, status=int(status))
+        self.tracer.mark("hwreq_done", cat="hwmgr", vm=req.pd.vm_id,
+                         status=int(status))
 
     # ------------------------------------------------------------- utilities
 

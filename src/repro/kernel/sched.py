@@ -1,10 +1,18 @@
 """Preemptive priority-based round-robin scheduler (Section III-D, Fig. 3).
 
 Domains live in either the *run queue* (a circular deque per priority
-level — the paper's double-linked circles) or the *suspend queue*.  The
-scheduler always dispatches the highest-priority runnable PD; same-level
-PDs round-robin with a fixed time quantum, and a preempted PD keeps its
-remaining quantum so its total slice stays constant.
+level — the paper's double-linked circles of Fig. 3) or the *suspend
+queue*.  The scheduler always dispatches the highest-priority runnable PD;
+same-level PDs round-robin with a fixed time quantum, and a preempted PD
+keeps its remaining quantum so its total slice stays constant.  The
+Hardware Task Manager sits one priority level above the guests and is
+resumed at the *front* of its circle, which is what makes its requests
+preempt guests immediately (Section IV-E).
+
+Observability: preemption/rotation counts are mirrored into the kernel's
+:class:`~repro.obs.metrics.MetricsRegistry` (``sched.preemptions``,
+``sched.rotations``) when one is supplied; the dispatch events themselves
+(``vm_switch``) are traced by the kernel core — see docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -16,17 +24,26 @@ from .pd import PdState, ProtectionDomain
 
 
 class Scheduler:
-    def __init__(self, quantum_cycles: int, n_priorities: int = 8) -> None:
+    """Run/suspend queues plus the quantum accounting of Section III-D."""
+
+    def __init__(self, quantum_cycles: int, n_priorities: int = 8,
+                 metrics=None) -> None:
         self.quantum_cycles = quantum_cycles
         self.n_priorities = n_priorities
         self._run: list[deque[ProtectionDomain]] = [deque() for _ in range(n_priorities)]
         self._suspended: set[ProtectionDomain] = set()
         self.preemptions = 0
         self.rotations = 0
+        self._m_preemptions = (metrics.counter("sched.preemptions")
+                               if metrics is not None else None)
+        self._m_rotations = (metrics.counter("sched.rotations")
+                             if metrics is not None else None)
 
     # -- queue management -----------------------------------------------------
 
     def add(self, pd: ProtectionDomain, *, runnable: bool = True) -> None:
+        """Enqueue a new PD into its priority circle (or the suspend
+        queue) with a full quantum."""
         if not 0 <= pd.priority < self.n_priorities:
             raise SimulationError(f"priority {pd.priority} out of range")
         if pd.quantum_remaining <= 0:
@@ -67,6 +84,7 @@ class Scheduler:
             self._run[pd.priority].append(pd)
 
     def remove(self, pd: ProtectionDomain) -> None:
+        """Take a PD out of both queues for good (shutdown / panic)."""
         if pd.state is PdState.RUN:
             try:
                 self._run[pd.priority].remove(pd)
@@ -90,6 +108,8 @@ class Scheduler:
         if q and q[0] is pd:
             q.rotate(-1)
             self.rotations += 1
+            if self._m_rotations is not None:
+                self._m_rotations.inc()
         pd.quantum_remaining = self.quantum_cycles
 
     def charge(self, pd: ProtectionDomain, cycles: int) -> None:
@@ -98,7 +118,10 @@ class Scheduler:
         pd.quantum_remaining = max(0, pd.quantum_remaining - cycles)
 
     def note_preemption(self) -> None:
+        """Count a quantum-expiry preemption (timer fired mid-slice)."""
         self.preemptions += 1
+        if self._m_preemptions is not None:
+            self._m_preemptions.inc()
 
     # -- introspection ------------------------------------------------------------
 

@@ -1,63 +1,21 @@
-"""Kernel event tracing: the measurement substrate for Table III / Fig. 9.
+"""Backward-compatibility shim: the tracer moved to :mod:`repro.obs.trace`.
 
-The kernel marks named events with the current cycle count; the eval layer
-pairs them into intervals (HW-Manager entry/exit, PL-IRQ entry, ...).
-Tracing is allocation-light and can be disabled wholesale for long runs.
+The kernel's measurement substrate grew into a full observability layer
+(bounded ring buffer, name-indexed queries, spans, categories, metrics,
+Chrome-trace export) and now lives in :mod:`repro.obs`.  Import from
+there in new code; this module keeps the historical
+``repro.kernel.trace`` import path working.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
+from ..obs.trace import (   # noqa: F401  (re-exports)
+    CATEGORIES,
+    DEFAULT_RING_CAPACITY,
+    EventRing,
+    TraceEvent,
+    Tracer,
+)
 
-
-@dataclass
-class TraceEvent:
-    t: int
-    name: str
-    info: dict[str, Any]
-
-
-@dataclass
-class Tracer:
-    enabled: bool = True
-    events: list[TraceEvent] = field(default_factory=list)
-    _clock_ref: Any = None   # object with .now (set by the kernel at boot)
-
-    def bind(self, clock_like: Any) -> None:
-        self._clock_ref = clock_like
-
-    def mark(self, name: str, **info: Any) -> None:
-        if self.enabled and self._clock_ref is not None:
-            self.events.append(TraceEvent(self._clock_ref.now, name, info))
-
-    def clear(self) -> None:
-        self.events.clear()
-
-    # -- queries -------------------------------------------------------------
-
-    def find(self, name: str, **match: Any) -> list[TraceEvent]:
-        out = []
-        for e in self.events:
-            if e.name != name:
-                continue
-            if all(e.info.get(k) == v for k, v in match.items()):
-                out.append(e)
-        return out
-
-    def intervals(self, start_name: str, end_name: str,
-                  key: str | None = None) -> list[tuple[int, TraceEvent, TraceEvent]]:
-        """Pair start/end events in order; when ``key`` is given, events
-        pair only when their ``info[key]`` matches.  Returns
-        (duration, start_event, end_event) triples."""
-        open_: dict[Any, TraceEvent] = {}
-        out: list[tuple[int, TraceEvent, TraceEvent]] = []
-        for e in self.events:
-            if e.name == start_name:
-                open_[e.info.get(key) if key else None] = e
-            elif e.name == end_name:
-                k = e.info.get(key) if key else None
-                s = open_.pop(k, None)
-                if s is not None:
-                    out.append((e.t - s.t, s, e))
-        return out
+__all__ = ["CATEGORIES", "DEFAULT_RING_CAPACITY", "EventRing", "TraceEvent",
+           "Tracer"]

@@ -1,12 +1,20 @@
-"""Virtual GIC: the per-VM interrupt state of Fig. 2.
+"""Virtual GIC: the per-VM interrupt state of Fig. 2 (Section III-B).
 
 Each VM's vGIC keeps a record list indexed by IRQ source number with the
 virtual state of that IRQ (enabled / pending / active), plus the VM's
-registered IRQ entry point.  The physical GIC only ever reflects the
-*running* VM's enabled set: on every VM switch the kernel masks the
-predecessor's IRQs and unmasks the successor's (enabled ones only).
+registered IRQ entry point — the per-VM column of the Fig. 2 block
+diagram.  The physical GIC only ever reflects the *running* VM's enabled
+set: on every VM switch the kernel masks the predecessor's IRQs and
+unmasks the successor's (enabled ones only), the mask/unmask-and-inject
+protocol the vm-switch path of :mod:`repro.kernel.core` implements.
 IRQs that fire while their VM is inactive stay pending in the vGIC and
 are delivered when the VM is next scheduled (Section IV-D).
+
+Observability: injections are traced by the kernel core (the
+``plirq_inject_*`` span and the verbose ``virq_inject`` event — see
+docs/OBSERVABILITY.md) and counted in ``kernel.virq_injected{vm=...}``;
+the per-instance ``pended`` / ``injected`` attributes here are the raw
+tallies those probes are built from.
 """
 
 from __future__ import annotations
@@ -36,7 +44,9 @@ class VGic:
     irqs: dict[int, VIrqState] = field(default_factory=dict)
     #: Delivery order for pending vIRQs (FIFO).
     _pending_fifo: list[int] = field(default_factory=list)
+    #: vIRQs delivered to the guest / marked pending (lifetime tallies).
     injected: int = 0
+    pended: int = 0
 
     # -- registration ------------------------------------------------------
 
@@ -71,6 +81,7 @@ class VGic:
             return
         if not st.pending:
             st.pending = True
+            self.pended += 1
             self._pending_fifo.append(irq_id)
 
     def next_pending(self) -> int | None:

@@ -1,0 +1,37 @@
+"""Kernel observability layer: structured tracing, metrics, exporters.
+
+The measurement substrate everything in ``eval/`` (Table III, Fig. 9) and
+the CLI's ``--trace-out``/``--metrics`` flags are built on:
+
+* :mod:`repro.obs.trace`   — the bounded-ring :class:`Tracer` with
+  name-indexed lookup, span context managers and per-event categories;
+* :mod:`repro.obs.metrics` — the always-on :class:`MetricsRegistry` of
+  counters, gauges and fixed-bucket histograms;
+* :mod:`repro.obs.export`  — Chrome trace-event JSON (``chrome://tracing``
+  / Perfetto) and plain-text metrics exporters.
+
+The event names the kernel emits are a documented contract, not an
+accident: see ``docs/OBSERVABILITY.md`` for the full catalog, the span
+pairing rules and the ring-buffer semantics.  ``tools/check_event_catalog.py``
+keeps code and catalog in sync.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import (
+    CATEGORIES,
+    DEFAULT_RING_CAPACITY,
+    EventRing,
+    TraceEvent,
+    Tracer,
+)
+from .export import (
+    chrome_trace_events,
+    render_metrics,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "CATEGORIES", "Counter", "DEFAULT_RING_CAPACITY", "EventRing", "Gauge",
+    "Histogram", "MetricsRegistry", "TraceEvent", "Tracer",
+    "chrome_trace_events", "render_metrics", "write_chrome_trace",
+]

@@ -82,6 +82,18 @@ class Simulator:
         self._seq = itertools.count()
         #: Total events fired, for sanity checks in tests.
         self.fired_count = 0
+        # Optional observability counters (attached by the kernel at boot;
+        # see docs/OBSERVABILITY.md): events scheduled/fired, idle skips.
+        self._m_scheduled = None
+        self._m_fired = None
+        self._m_idle = None
+
+    def attach_metrics(self, metrics) -> None:
+        """Mirror engine activity into a
+        :class:`~repro.obs.metrics.MetricsRegistry` (``sim.*`` counters)."""
+        self._m_scheduled = metrics.counter("sim.events_scheduled")
+        self._m_fired = metrics.counter("sim.events_fired")
+        self._m_idle = metrics.counter("sim.idle_advances")
 
     # -- scheduling ----------------------------------------------------
 
@@ -97,6 +109,8 @@ class Simulator:
             raise SimulationError(f"cannot schedule event in the past ({t} < {self.clock.now})")
         handle = EventHandle(t, fn, args, label)
         heapq.heappush(self._queue, _QueuedEvent(t, next(self._seq), handle))
+        if self._m_scheduled is not None:
+            self._m_scheduled.inc()
         return handle
 
     # -- dispatching ---------------------------------------------------
@@ -118,6 +132,8 @@ class Simulator:
         while (ev := self._pop_due(self.clock.now)) is not None:
             ev.fired = True
             self.fired_count += 1
+            if self._m_fired is not None:
+                self._m_fired.inc()
             ev.fn(*ev.args)
             n += 1
         return n
@@ -136,6 +152,8 @@ class Simulator:
         t = self.next_event_time()
         if t is None:
             return False
+        if self._m_idle is not None:
+            self._m_idle.inc()
         self.clock.advance_to(max(t, self.clock.now))
         self.dispatch_due()
         return True

@@ -136,6 +136,21 @@ def test_tracer_intervals_helper():
     assert sorted(d for d, _, _ in pairs) == [10, 40]
 
 
+def test_tracer_intervals_nested_same_key():
+    """Regression: the pre-obs tracer kept a single open slot per key, so
+    a nested same-key span clobbered the outer start and produced one
+    wrong interval.  The stack-per-key pairing yields both, inside-out."""
+    t = make_trace([
+        (10, "a", {"k": 1}),     # outer start
+        (20, "a", {"k": 1}),     # inner start, same key
+        (25, "b", {"k": 1}),     # closes inner
+        (60, "b", {"k": 1}),     # closes outer
+    ])
+    pairs = t.intervals("a", "b", key="k")
+    assert sorted((d, s.t, e.t) for d, s, e in pairs) == \
+        [(5, 20, 25), (50, 10, 60)]
+
+
 def test_tracer_disabled_records_nothing():
     t = Tracer(enabled=False)
     t.bind(_Clock())

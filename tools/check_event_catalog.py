@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Check that docs/OBSERVABILITY.md's event catalog matches the code.
+
+Scans ``src/repro`` for trace-event emission sites::
+
+    .mark("name", ...)          -> name
+    .mark_at(t, "name", ...)    -> name
+    .span("name", ...)          -> name_start, name_end
+
+and parses the catalog tables of docs/OBSERVABILITY.md (rows of the form
+``| `name` | default/verbose | ...``).  Exits non-zero, listing the
+difference, if either side has a name the other lacks.  Run by CI next to
+the test suite; run it locally with ``python tools/check_event_catalog.py``.
+
+Only string-literal event names are recognised.  If you must compute an
+event name dynamically (don't), add a ``# obs-event: name`` comment on
+the emitting line so the catalog check can see it.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+DOC = REPO / "docs" / "OBSERVABILITY.md"
+
+MARK_RE = re.compile(r'\.mark\(\s*"([a-z0-9_]+)"')
+MARK_AT_RE = re.compile(r'\.mark_at\([^"]*?"([a-z0-9_]+)"')
+SPAN_RE = re.compile(r'\.span\(\s*"([a-z0-9_]+)"')
+ANNOT_RE = re.compile(r"#\s*obs-event:\s*([a-z0-9_]+)")
+
+#: catalog rows: | `name` | default | ... / | `name` | verbose | ...
+DOC_ROW_RE = re.compile(r"^\|\s*`([a-z0-9_]+)`\s*\|\s*(default|verbose)\s*\|")
+
+
+def events_in_code() -> dict[str, set[str]]:
+    """Event name -> set of emitting files (src/repro-relative)."""
+    out: dict[str, set[str]] = {}
+
+    def add(name: str, rel: str) -> None:
+        out.setdefault(name, set()).add(rel)
+
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        if rel.startswith("obs/") or rel == "kernel/trace.py":
+            continue  # the tracing layer itself, not an instrumentation site
+        text = path.read_text()
+        for rx in (MARK_RE, MARK_AT_RE, ANNOT_RE):
+            for m in rx.finditer(text):
+                add(m.group(1), rel)
+        for m in SPAN_RE.finditer(text):
+            add(m.group(1) + "_start", rel)
+            add(m.group(1) + "_end", rel)
+    return out
+
+
+def events_in_doc() -> dict[str, str]:
+    """Event name -> level, from the catalog tables."""
+    out: dict[str, str] = {}
+    for line in DOC.read_text().splitlines():
+        m = DOC_ROW_RE.match(line.strip())
+        if m:
+            out[m.group(1)] = m.group(2)
+    return out
+
+
+def main() -> int:
+    code = events_in_code()
+    doc = events_in_doc()
+    if not code:
+        print("error: found no emission sites under src/repro — "
+              "the scanner regexes are probably broken", file=sys.stderr)
+        return 2
+    if not doc:
+        print(f"error: found no catalog rows in {DOC} — "
+              "the table format changed?", file=sys.stderr)
+        return 2
+
+    undocumented = sorted(set(code) - set(doc))
+    stale = sorted(set(doc) - set(code))
+    if undocumented:
+        print("events emitted by src/repro but missing from "
+              "docs/OBSERVABILITY.md:", file=sys.stderr)
+        for name in undocumented:
+            print(f"  {name}  (emitted by {', '.join(sorted(code[name]))})",
+                  file=sys.stderr)
+    if stale:
+        print("events documented in docs/OBSERVABILITY.md but never "
+              "emitted by src/repro:", file=sys.stderr)
+        for name in stale:
+            print(f"  {name}  (listed as level={doc[name]})", file=sys.stderr)
+    if undocumented or stale:
+        return 1
+
+    print(f"event catalog OK: {len(doc)} events, "
+          f"{len({f for fs in code.values() for f in fs})} emitting modules")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
