@@ -8,6 +8,9 @@ Commands:
   ``--metrics`` prints the kernel's counter/histogram registry
   (see docs/OBSERVABILITY.md for the event and metric catalog)
 * ``table3``   — regenerate Table III (+ Fig. 9) and print both
+* ``bench``    — run the paper scenario and write a schema-versioned
+  ``BENCH_<name>.json`` latency/accounting artifact (``--quick`` for the
+  CI smoke profile; see docs/BENCHMARKS.md and tools/bench_compare.py)
 * ``inventory``— list the hardware-task library and the fabric floorplan
 """
 
@@ -62,6 +65,39 @@ def cmd_table3(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .eval.bench import default_artifact_path, run_bench, write_bench
+    from .obs.analytics import SeriesSummary
+
+    name = "quick" if args.quick else args.name
+    payload = run_bench(name, guests=args.guests, ms=args.ms, seed=args.seed)
+    out = args.out or default_artifact_path(name)
+    try:
+        write_bench(payload, out)
+    except OSError as exc:
+        print(f"error: cannot write benchmark artifact to {out}: {exc}",
+              file=sys.stderr)
+        return 1
+    hz = payload["scenario"]["cpu_hz"]
+    print(f"bench '{name}': {payload['scenario']['guests']} guests, "
+          f"{payload['scenario']['ms']:g} ms simulated "
+          f"({payload['totals']['cycles']} cycles) -> {out}")
+    print(f"{'series':26} {'count':>6} {'p50':>10} {'p90':>10} "
+          f"{'p99':>10}  unit")
+    for sname, s in payload["series"].items():
+        if not s["count"]:
+            continue
+        us = SeriesSummary(**s).scaled(1e6 / hz, "us")
+        print(f"{sname:26} {us.count:>6} {us.p50:>10.2f} {us.p90:>10.2f} "
+              f"{us.p99:>10.2f}  {us.unit}")
+    acct = payload["accounting"]
+    print(f"accounting: {len(acct['vms'])} VMs, "
+          f"kernel {acct['kernel_cycles']} cycles, "
+          f"idle {acct['idle_cycles']} cycles, "
+          f"accounted {acct['total_accounted']} cycles")
+    return 0
+
+
 def cmd_inventory(args: argparse.Namespace) -> int:
     from .machine import Machine
 
@@ -108,6 +144,21 @@ def main(argv: list[str] | None = None) -> int:
     p_t3.add_argument("--completions", type=int, default=50)
     p_t3.add_argument("--seed", type=int, default=1)
     p_t3.set_defaults(fn=cmd_table3)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the paper scenario, write BENCH_<name>.json")
+    p_bench.add_argument("--name", default="paper",
+                         help="bench profile / artifact name (default: paper)")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="CI smoke profile (fewer guests, shorter run)")
+    p_bench.add_argument("--guests", type=int, default=None,
+                         help="override the profile's guest count")
+    p_bench.add_argument("--ms", type=float, default=None,
+                         help="override the profile's simulated milliseconds")
+    p_bench.add_argument("--seed", type=int, default=1)
+    p_bench.add_argument("--out", metavar="FILE", default=None,
+                         help="artifact path (default: BENCH_<name>.json)")
+    p_bench.set_defaults(fn=cmd_bench)
 
     p_inv = sub.add_parser("inventory", help="task library + floorplan")
     p_inv.set_defaults(fn=cmd_inventory)

@@ -1,0 +1,117 @@
+"""Benchmark-artifact pipeline: ``python -m repro bench`` → ``BENCH_*.json``.
+
+Runs the paper scenario (Mini-NOVA + manager + n uC/OS-II guests against
+the 4-PRR fabric, Fig. 8) and distils the run into one machine-readable,
+schema-versioned artifact: percentile summaries (p50/p90/p99, mean,
+min/max) of every latency axis the paper evaluates, plus the per-VM
+accounting table.  The artifact is deliberately deterministic — same
+code, same seed → byte-identical JSON — so two artifacts can be diffed
+and regression-gated by ``tools/bench_compare.py`` (see
+docs/BENCHMARKS.md for the schema and the CI wiring).
+
+Series sources mix both measurement substrates on purpose: histogram
+series exercise the bucket-estimated percentiles, exact series the
+nearest-rank path — the same numbers the analytics layer serves
+interactively.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..obs.accounting import VmAccounting
+from ..obs.analytics import (
+    SeriesSummary,
+    dpr_chains,
+    dpr_stage_summaries,
+    plirq_latency_samples,
+)
+from .measures import extract_overheads
+from .scenarios import VirtScenario, build_virtualized
+
+#: Bump when the artifact layout changes; ``tools/bench_compare.py``
+#: refuses to diff artifacts of different major versions.
+SCHEMA_VERSION = 1
+
+#: Scenario shapes.  ``paper`` ~ the Section V setup; ``quick`` is the CI
+#: smoke profile (same structure, shorter horizon).
+PROFILES: dict[str, dict[str, Any]] = {
+    "paper": {"guests": 3, "ms": 300.0},
+    "quick": {"guests": 2, "ms": 120.0},
+}
+
+
+def collect_series(sc: VirtScenario) -> dict[str, SeriesSummary]:
+    """Every latency series of the run, by stable artifact name."""
+    k = sc.kernel
+    series: dict[str, SeriesSummary] = {
+        # Histogram-backed (bucket-estimated percentiles).
+        "vm_switch_cycles": SeriesSummary.from_histogram(
+            k.metrics.histogram("kernel.vm_switch_cycles")),
+        "hypercall_cycles": SeriesSummary.from_histogram(
+            k.metrics.histogram("kernel.hypercall_cycles")),
+        "mgr_exec_cycles": SeriesSummary.from_histogram(
+            k.metrics.histogram("hwmgr.exec_cycles")),
+        # Exact-sample series (nearest-rank percentiles).
+        "virq_delivery_cycles": SeriesSummary.from_samples(
+            k.acct.virq_latency_samples()),
+        "plirq_entry_cycles": SeriesSummary.from_samples(
+            plirq_latency_samples(k.tracer)),
+    }
+    o = extract_overheads(k.tracer)           # Table III classes, exact
+    series["hwreq_entry_cycles"] = SeriesSummary.from_samples(o.entry)
+    series["hwreq_execution_cycles"] = SeriesSummary.from_samples(o.execution)
+    series["hwreq_exit_cycles"] = SeriesSummary.from_samples(o.exit)
+    series["hwreq_total_cycles"] = SeriesSummary.from_samples(o.total)
+    chains = dpr_chains(k.tracer)             # DPR critical path, exact
+    for stage, summary in dpr_stage_summaries(chains).items():
+        name = ("reconfig_cycles" if stage == "ready"
+                else f"dpr_{stage}_cycles")
+        series[name] = summary
+    return series
+
+
+def run_bench(name: str = "paper", *, guests: int | None = None,
+              ms: float | None = None, seed: int = 1) -> dict[str, Any]:
+    """Run one bench profile and return the artifact payload."""
+    profile = PROFILES.get(name, PROFILES["paper"])
+    guests = profile["guests"] if guests is None else guests
+    ms = profile["ms"] if ms is None else ms
+    sc = build_virtualized(guests, seed=seed)
+    sc.run_ms(ms)
+    k = sc.kernel
+    acct: VmAccounting = k.acct
+    series = collect_series(sc)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": name,
+        "scenario": {
+            "guests": guests,
+            "ms": ms,
+            "seed": seed,
+            "cpu_hz": sc.machine.params.cpu.hz,
+        },
+        "totals": {
+            "cycles": k.sim.now,
+            "vm_switches": k.vm_switch_count,
+            "hypercalls": k.hypercall_count,
+            "irqs": k.irq_count,
+            "manager_requests": sc.manager.requests_handled,
+            "pcap_transfers": sc.machine.pcap.transfers,
+            "completions": sc.total_completions(),
+        },
+        "series": {n: s.as_dict() for n, s in sorted(series.items())},
+        "accounting": acct.snapshot(),
+    }
+
+
+def write_bench(payload: dict[str, Any], path: str) -> None:
+    """Write the artifact deterministically (sorted keys, stable floats)."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def default_artifact_path(name: str) -> str:
+    return f"BENCH_{name}.json"

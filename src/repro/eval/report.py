@@ -78,4 +78,6 @@ def scenario_report(sc: VirtScenario | NativeScenario) -> str:
             f"entry {s['entry']:.2f} us, exec {s['execution']:.2f} us, "
             f"exit {s['exit']:.2f} us, total {s['total']:.2f} us, "
             f"PL-IRQ {s['plirq']:.2f} us")
+    if virt:
+        lines.append(sc.kernel.acct.render())
     return "\n".join(lines)

@@ -16,9 +16,9 @@ from ...gic import gic as gicdev
 from ...gic.irqs import IRQ_PCAP_DONE, IRQ_PRIVATE_TIMER, SPURIOUS_IRQ, pl_line
 from ...kernel import layout as KL
 from ...kernel.hypercalls import Hc, HcStatus
-from ...kernel.trace import Tracer
 from ...machine import GIC_BASE, Machine
 from ...obs.metrics import MetricsRegistry
+from ...obs.trace import Tracer
 from ...mem.descriptors import AP, DomainType, SECTION_SIZE, dacr_set
 from ...mem.ptables import PageTable
 from ..costs import CODE_HC_WRAPPER, UCOS_COSTS as UC

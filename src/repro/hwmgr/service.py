@@ -69,6 +69,9 @@ class ManagerService:
             kernel.metrics.counter("hwmgr.requests", kind=req.kind).inc()
             kernel.metrics.histogram("hwmgr.exec_cycles").observe(
                 kernel.sim.now - exec_start)
+            # Every request can change fabric ownership (allocate, reclaim,
+            # release): reconcile the per-VM PRR occupancy intervals.
+            kernel.acct.sync_prr_occupancy(kernel.machine.prrs)
             kernel.manager_post_result(req, result)
             self.requests_handled += 1
             req = kernel.manager_take_request()

@@ -16,7 +16,7 @@ from .ivc import IVC_IRQ, IvcRouter, Mailbox
 from .memory import DACR_GUEST_KERNEL, DACR_GUEST_USER, DACR_HOST, KernelMemory
 from .pd import HwDataSection, PdState, ProtectionDomain
 from .sched import Scheduler
-from .trace import TraceEvent, Tracer
+from ..obs.trace import TraceEvent, Tracer
 from .vcpu import Vcpu, VTimerState
 from .vgic import VGic, VIrqState
 from . import layout

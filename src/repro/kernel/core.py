@@ -30,8 +30,9 @@ from ..cpu.vfp import VFP_CONTEXT_WORDS
 from ..gic import gic as gicdev
 from ..gic.irqs import IRQ_PCAP_DONE, IRQ_PRIVATE_TIMER, SPURIOUS_IRQ, pl_line
 from ..machine import GIC_BASE, Machine
+from ..obs.accounting import VmAccounting
 from ..obs.metrics import MetricsRegistry
-from ..obs.trace import DEFAULT_RING_CAPACITY
+from ..obs.trace import DEFAULT_RING_CAPACITY, Tracer
 from . import layout as L
 from .costs import KERNEL_COSTS as C
 from .exits import (
@@ -46,7 +47,6 @@ from .ivc import IVC_IRQ, IvcRouter
 from .memory import DACR_GUEST_KERNEL, DACR_GUEST_USER, DACR_HOST, KernelMemory
 from .pd import PdState, ProtectionDomain
 from .sched import Scheduler
-from .trace import Tracer
 from .vcpu import Vcpu
 from .vgic import VGic
 
@@ -109,10 +109,13 @@ class MiniNova:
         self._m_irqs = self.metrics.counter("kernel.irqs")
         self._m_hypercall_cycles = self.metrics.histogram(
             "kernel.hypercall_cycles")
+        #: Per-VM resource accounting: context-clock cycle attribution,
+        #: event tallies and PRR occupancy (docs/BENCHMARKS.md).
+        self.acct = VmAccounting(metrics=self.metrics)
         self.kmem = KernelMemory(machine)
         self.sched = Scheduler(
             ms_to_cycles(self.config.quantum_ms, machine.params.cpu.hz),
-            metrics=self.metrics)
+            metrics=self.metrics, accounting=self.acct)
         self.ivc = IvcRouter()
         self.syms = L.SYMS
         self.domains: dict[int, ProtectionDomain] = {}
@@ -156,6 +159,10 @@ class MiniNova:
         # observability layer (PCAP reconfigurations, sim event counts).
         self.machine.pcap.attach_obs(tracer=self.tracer, metrics=self.metrics)
         self.sim.attach_metrics(self.metrics)
+        # Accounting starts at boot time: every later cycle is attributed
+        # to a context (kernel / guest / idle) until the books are read.
+        self.acct.bind(self.sim.clock)
+        self.sim.attach_accounting(self.acct)
         cpu.irq_masked = False
         self.booted = True
 
@@ -174,10 +181,11 @@ class MiniNova:
         pd = ProtectionDomain(
             vm_id=vm_id, name=name,
             priority=self.config.guest_priority if priority is None else priority,
-            vcpu=vcpu, vgic=VGic(vm_id=vm_id), page_table=pt,
+            vcpu=vcpu, vgic=VGic(vm_id=vm_id, acct=self.acct), page_table=pt,
             asid=self.kmem.alloc_asid(), phys_base=phys_base,
             phys_size=L.GUEST_PHYS_CHUNK, runner=runner, kobj_addr=kobj)
         self.domains[vm_id] = pd
+        self.acct.register_vm(vm_id, name)
         self.ivc.register(vm_id)
         runner.bind(self, pd)
         self.sched.add(pd, runnable=runnable)
@@ -197,10 +205,11 @@ class MiniNova:
             vm_id=vm_id, name="hw-task-manager",
             priority=self.config.service_priority,
             vcpu=Vcpu(vm_id=vm_id, save_area=kobj + 0x40),
-            vgic=VGic(vm_id=vm_id), page_table=pt,
+            vgic=VGic(vm_id=vm_id, acct=self.acct), page_table=pt,
             asid=self.kmem.alloc_asid(), phys_base=phys_base,
             phys_size=4 << 20, runner=runner, kobj_addr=kobj)
         self.domains[vm_id] = pd
+        self.acct.register_vm(vm_id, "hw-task-manager")
         runner.bind(self, pd)
         self.sched.add(pd, runnable=False)
         self.manager_pd = pd
@@ -242,7 +251,11 @@ class MiniNova:
             start = self.sim.now
             budget = pd.quantum_remaining
             ledger = self.cpu.set_ledger(f"guest:{pd.name}")
+            # Guest privilege view is constant within one chunk: it only
+            # flips in kernel context (GUEST_MODE_SET, vIRQ injection).
+            ctx = self.acct.guest_push(pd.vm_id, pd.vcpu.guest_kernel_mode)
             exit_ = pd.runner.step(budget)
+            self.acct.pop(ctx)
             self.cpu.set_ledger(ledger)
             used = self.sim.now - start
             self.sched.charge(pd, used)
@@ -263,6 +276,7 @@ class MiniNova:
         cpu, syms = self.cpu, self.syms
         switch_start = self.sim.now
         prev_ledger = cpu.set_ledger("vm_switch")
+        ctx = self.acct.push("kernel", to.vm_id)   # switch-in cost: successor
         # The switch runs in kernel context (reached via SVC/IRQ on real
         # hardware; the run loop raises privilege explicitly here).
         cpu.set_mode(Mode.SVC)
@@ -327,6 +341,8 @@ class MiniNova:
         self.vm_switch_count += 1
         self._m_vm_switches.inc()
         self._m_vm_switch_cycles.observe(self.sim.now - switch_start)
+        self.acct.note_switch_in(to.vm_id)
+        self.acct.pop(ctx)
         self.current = to
         # Drop to PL0 for the incoming domain; IRQs are live while it runs.
         cpu.set_mode(Mode.USR)
@@ -386,6 +402,9 @@ class MiniNova:
     def _handle_physical_irq(self) -> None:
         cpu, syms = self.cpu, self.syms
         prev_ledger = cpu.set_ledger("irq")
+        # ACK/EOI/routing is unattributed kernel work; injection into a
+        # specific VM re-pushes with that VM (see _inject_virq).
+        ctx = self.acct.push("kernel", None)
         self.irq_count += 1
         self._irq_vector_t = self.sim.now   # PL-IRQ entry is measured from
         cpu.take_exception("irq")           # the exception vector (paper)
@@ -393,6 +412,7 @@ class MiniNova:
         irq = cpu.read32(_ICCIAR)               # ACK (timed device read)
         if irq == SPURIOUS_IRQ:
             cpu.return_from_exception()
+            self.acct.pop(ctx)
             cpu.set_ledger(prev_ledger)
             return
         self._m_irqs.inc()
@@ -416,6 +436,7 @@ class MiniNova:
             self._route_pl_irq(irq, line)
         # other device IRQs (UART...) are kernel-internal: nothing to inject
         cpu.return_from_exception()
+        self.acct.pop(ctx)
         cpu.set_ledger(prev_ledger)
 
     def _route_pl_irq(self, irq: int, line: int) -> None:
@@ -495,6 +516,7 @@ class MiniNova:
         if irq is None:
             return
         cpu = self.cpu
+        ctx = self.acct.push("kernel", pd.vm_id)
         if measure_pl and seq is not None:
             self.tracer.mark("plirq_inject_start", cat="vgic", seq=seq,
                              vm=pd.vm_id)
@@ -516,6 +538,7 @@ class MiniNova:
         self.metrics.counter("kernel.virq_injected", vm=pd.vm_id).inc()
         if self.tracer.verbose:
             self.tracer.mark("virq_inject", cat="vgic", vm=pd.vm_id, irq=irq)
+        self.acct.pop(ctx)
         pd.runner.deliver_virq(irq)
 
     # ------------------------------------------------------------- guest exits
@@ -562,6 +585,7 @@ class MiniNova:
         """UND trap from a disabled VFP: move banks now (Table I, lazy)."""
         cpu = self.cpu
         prev_ledger = cpu.set_ledger("vfp_lazy")
+        ctx = self.acct.push("kernel", pd.vm_id)
         cpu.take_exception("und")
         cpu.code(self.syms.und_entry, C.und_entry_stub)
         cpu.code(self.syms.vfp_lazy, C.vfp_lazy_trap)
@@ -581,6 +605,7 @@ class MiniNova:
         self.metrics.counter("kernel.vfp_lazy_switches").inc()
         self.tracer.mark("vfp_lazy_switch", cat="sched", vm=pd.vm_id)
         cpu.return_from_exception()
+        self.acct.pop(ctx)
         cpu.set_ledger(prev_ledger)
 
     # -------------------------------------------------------------- hypercalls
@@ -591,25 +616,30 @@ class MiniNova:
         if exit_ is None:
             return
         cpu = self.cpu
+        ctx = self.acct.push("kernel", pd.vm_id)
         cpu.set_mode(Mode.SVC)    # completing the still-open SVC frame
         cpu.irq_masked = True
         cpu.code(self.syms.exc_return, C.exc_return_path)
         cpu.return_from_exception()
         self.tracer.mark("hwreq_resumed", cat="hwmgr", vm=pd.vm_id)
+        self.acct.pop(ctx)
         pd.runner.complete_hypercall(exit_)
 
     def _handle_hypercall(self, pd: ProtectionDomain, exit_: ExitHypercall) -> None:
         cpu, syms = self.cpu, self.syms
         prev_ledger = cpu.set_ledger("hypercall")
+        ctx = self.acct.push("kernel", pd.vm_id)
         hc_start = self.sim.now
         self.hypercall_count += 1
         pd.hypercalls += 1
+        self.acct.note_hypercall(pd.vm_id)
         try:
             num = Hc(exit_.num)
         except ValueError:
             self.metrics.counter("kernel.hypercalls", hc="INVALID").inc()
             exit_.result = HcStatus.ERR_ARG
             pd.runner.complete_hypercall(exit_)
+            self.acct.pop(ctx)
             cpu.set_ledger(prev_ledger)
             return
         self.metrics.counter("kernel.hypercalls", hc=num.name).inc()
@@ -637,6 +667,7 @@ class MiniNova:
             # latency" (the deferred path is measured by the hwreq spans).
             self._m_hypercall_cycles.observe(self.sim.now - hc_start)
             pd.runner.complete_hypercall(exit_)
+        self.acct.pop(ctx)
         cpu.set_ledger(prev_ledger)
 
     def _dispatch_hypercall(self, pd: ProtectionDomain, num: Hc,

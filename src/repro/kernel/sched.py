@@ -11,8 +11,11 @@ preempt guests immediately (Section IV-E).
 
 Observability: preemption/rotation counts are mirrored into the kernel's
 :class:`~repro.obs.metrics.MetricsRegistry` (``sched.preemptions``,
-``sched.rotations``) when one is supplied; the dispatch events themselves
-(``vm_switch``) are traced by the kernel core — see docs/OBSERVABILITY.md.
+``sched.rotations``) when one is supplied, plus a ``sched.runnable``
+gauge tracking the run-queue population; per-VM rotation tallies go to
+an optional :class:`~repro.obs.accounting.VmAccounting`.  The dispatch
+events themselves (``vm_switch``) are traced by the kernel core — see
+docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -27,17 +30,24 @@ class Scheduler:
     """Run/suspend queues plus the quantum accounting of Section III-D."""
 
     def __init__(self, quantum_cycles: int, n_priorities: int = 8,
-                 metrics=None) -> None:
+                 metrics=None, accounting=None) -> None:
         self.quantum_cycles = quantum_cycles
         self.n_priorities = n_priorities
         self._run: list[deque[ProtectionDomain]] = [deque() for _ in range(n_priorities)]
         self._suspended: set[ProtectionDomain] = set()
         self.preemptions = 0
         self.rotations = 0
+        self._acct = accounting
         self._m_preemptions = (metrics.counter("sched.preemptions")
                                if metrics is not None else None)
         self._m_rotations = (metrics.counter("sched.rotations")
                              if metrics is not None else None)
+        self._m_runnable = (metrics.gauge("sched.runnable")
+                            if metrics is not None else None)
+
+    def _update_runnable(self) -> None:
+        if self._m_runnable is not None:
+            self._m_runnable.set(self.runnable_count())
 
     # -- queue management -----------------------------------------------------
 
@@ -54,6 +64,7 @@ class Scheduler:
         else:
             pd.state = PdState.SUSPENDED
             self._suspended.add(pd)
+        self._update_runnable()
 
     def suspend(self, pd: ProtectionDomain) -> None:
         """Move a PD to the suspend queue (e.g. the manager parking itself)."""
@@ -64,6 +75,7 @@ class Scheduler:
                 pass
         pd.state = PdState.SUSPENDED
         self._suspended.add(pd)
+        self._update_runnable()
 
     def resume(self, pd: ProtectionDomain, *, front: bool = True) -> None:
         """Move a PD from the suspend queue back into its level's circle.
@@ -82,6 +94,7 @@ class Scheduler:
             self._run[pd.priority].appendleft(pd)
         else:
             self._run[pd.priority].append(pd)
+        self._update_runnable()
 
     def remove(self, pd: ProtectionDomain) -> None:
         """Take a PD out of both queues for good (shutdown / panic)."""
@@ -92,6 +105,7 @@ class Scheduler:
                 pass
         self._suspended.discard(pd)
         pd.state = PdState.DEAD
+        self._update_runnable()
 
     # -- dispatch ------------------------------------------------------------------
 
@@ -110,6 +124,8 @@ class Scheduler:
             self.rotations += 1
             if self._m_rotations is not None:
                 self._m_rotations.inc()
+            if self._acct is not None:
+                self._acct.note_rotation(pd.vm_id)
         pd.quantum_remaining = self.quantum_cycles
 
     def charge(self, pd: ProtectionDomain, cycles: int) -> None:

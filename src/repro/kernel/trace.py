@@ -4,12 +4,20 @@ The kernel's measurement substrate grew into a full observability layer
 (bounded ring buffer, name-indexed queries, spans, categories, metrics,
 Chrome-trace export) and now lives in :mod:`repro.obs`.  Import from
 there in new code; this module keeps the historical
-``repro.kernel.trace`` import path working.
+``repro.kernel.trace`` import path working but emits a
+``DeprecationWarning`` on import (visible under ``python -W default``
+or pytest's default filters).
 """
 
 from __future__ import annotations
 
-from ..obs.trace import (   # noqa: F401  (re-exports)
+import warnings
+
+warnings.warn(
+    "repro.kernel.trace is deprecated; import from repro.obs instead",
+    DeprecationWarning, stacklevel=2)
+
+from ..obs.trace import (   # noqa: F401,E402  (re-exports)
     CATEGORIES,
     DEFAULT_RING_CAPACITY,
     EventRing,

@@ -14,12 +14,16 @@ Observability: injections are traced by the kernel core (the
 ``plirq_inject_*`` span and the verbose ``virq_inject`` event — see
 docs/OBSERVABILITY.md) and counted in ``kernel.virq_injected{vm=...}``;
 the per-instance ``pended`` / ``injected`` attributes here are the raw
-tallies those probes are built from.
+tallies those probes are built from.  When the kernel wires an
+``acct`` (:class:`~repro.obs.accounting.VmAccounting`), every
+pend/take pair additionally produces one injection-to-delivery latency
+sample (``kernel.virq_delivery_cycles``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 
 @dataclass
@@ -47,6 +51,9 @@ class VGic:
     #: vIRQs delivered to the guest / marked pending (lifetime tallies).
     injected: int = 0
     pended: int = 0
+    #: Optional per-VM accountant (wired by the kernel); pend/take feed
+    #: its vIRQ tallies and injection-to-delivery latency samples.
+    acct: Any = None
 
     # -- registration ------------------------------------------------------
 
@@ -64,6 +71,8 @@ class VGic:
         self.irqs.pop(irq_id, None)
         if irq_id in self._pending_fifo:
             self._pending_fifo.remove(irq_id)
+            if self.acct is not None:
+                self.acct.note_virq_dropped(self.vm_id, irq_id)
 
     def set_enabled(self, irq_id: int, on: bool) -> None:
         if irq_id in self.irqs:
@@ -83,6 +92,8 @@ class VGic:
             st.pending = True
             self.pended += 1
             self._pending_fifo.append(irq_id)
+            if self.acct is not None:
+                self.acct.note_virq_pended(self.vm_id, irq_id)
 
     def next_pending(self) -> int | None:
         """Peek the next deliverable vIRQ."""
@@ -97,6 +108,8 @@ class VGic:
         st.pending = False
         self._pending_fifo.remove(irq_id)
         self.injected += 1
+        if self.acct is not None:
+            self.acct.note_virq_injected(self.vm_id, irq_id)
 
     def has_pending(self) -> bool:
         return self.next_pending() is not None

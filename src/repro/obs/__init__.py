@@ -8,7 +8,11 @@ the CLI's ``--trace-out``/``--metrics`` flags are built on:
 * :mod:`repro.obs.metrics` — the always-on :class:`MetricsRegistry` of
   counters, gauges and fixed-bucket histograms;
 * :mod:`repro.obs.export`  — Chrome trace-event JSON (``chrome://tracing``
-  / Perfetto) and plain-text metrics exporters.
+  / Perfetto) and plain-text metrics exporters;
+* :mod:`repro.obs.analytics`  — percentile summaries (p50/p90/p99) over
+  histograms and trace-span samples, DPR critical-path chains;
+* :mod:`repro.obs.accounting` — per-VM cycle attribution (kernel /
+  guest-kernel / guest-user / idle), event tallies, PRR occupancy.
 
 The event names the kernel emits are a documented contract, not an
 accident: see ``docs/OBSERVABILITY.md`` for the full catalog, the span
@@ -29,9 +33,22 @@ from .export import (
     render_metrics,
     write_chrome_trace,
 )
+from .analytics import (
+    DprChain,
+    SeriesSummary,
+    dpr_chains,
+    dpr_stage_summaries,
+    percentile_of_samples,
+    plirq_latency_samples,
+    summarize,
+)
+from .accounting import VmAccount, VmAccounting
 
 __all__ = [
-    "CATEGORIES", "Counter", "DEFAULT_RING_CAPACITY", "EventRing", "Gauge",
-    "Histogram", "MetricsRegistry", "TraceEvent", "Tracer",
-    "chrome_trace_events", "render_metrics", "write_chrome_trace",
+    "CATEGORIES", "Counter", "DEFAULT_RING_CAPACITY", "DprChain",
+    "EventRing", "Gauge", "Histogram", "MetricsRegistry", "SeriesSummary",
+    "TraceEvent", "Tracer", "VmAccount", "VmAccounting",
+    "chrome_trace_events", "dpr_chains", "dpr_stage_summaries",
+    "percentile_of_samples", "plirq_latency_samples", "render_metrics",
+    "summarize", "write_chrome_trace",
 ]

@@ -1,0 +1,204 @@
+"""Latency analytics: percentile summaries and critical-path breakdowns.
+
+The paper's whole evaluation is latency *distributions* — vCPU switch
+costs (Table I), virtualization overhead (Table III), reconfiguration
+latency and the Fig. 9 degradation curves — so raw traces and bucket
+counts are not enough.  This module turns both measurement substrates
+into the same summary shape:
+
+* :class:`SeriesSummary` — count / mean / p50 / p90 / p99 / min / max,
+  computed either from **exact samples** (trace-span durations, nearest
+  rank) or from **Histogram buckets**
+  (:meth:`~repro.obs.metrics.Histogram.percentile` estimates);
+* :func:`dpr_chains` — per-chain critical-path breakdown of the DPR
+  lifecycle (request trap → manager decision → PCAP streaming →
+  interface mapping), built from the documented event contract of
+  docs/OBSERVABILITY.md;
+* :func:`virq_latency_samples` — PL-IRQ injection-to-delivery latency
+  per distribution sequence (routing + injection halves).
+
+Everything here is pure computation over a :class:`Tracer` /
+:class:`Histogram` — no simulation state, so it is equally usable on a
+live scenario, in tests, and in the ``python -m repro bench`` artifact
+pipeline (see docs/BENCHMARKS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from .metrics import Histogram
+from .trace import Tracer
+
+#: The guaranteed DPR request chain (docs/OBSERVABILITY.md §5).
+HWREQ_CHAIN = ("hwreq_trap", "mgr_exec_start", "mgr_exec_end",
+               "hwreq_resumed")
+
+#: Quantiles every summary reports.
+QUANTILES = (0.50, 0.90, 0.99)
+
+
+def percentile_of_samples(samples: Sequence[float], q: float) -> float | None:
+    """Nearest-rank percentile of exact samples; ``q`` in ``[0, 1]``.
+
+    Returns ``None`` for an empty sequence (mirrors
+    :meth:`Histogram.percentile`).  The input need not be sorted.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1]: {q}")
+    if not samples:
+        return None
+    s = sorted(samples)
+    if q == 0.0:
+        return float(s[0])
+    rank = max(1, -(-q * len(s) // 1))          # ceil(q * n)
+    return float(s[int(rank) - 1])
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Distribution summary of one latency series (cycles by default)."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    min: float
+    max: float
+    unit: str = "cycles"
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float],
+                     unit: str = "cycles") -> "SeriesSummary":
+        """Exact summary (nearest-rank percentiles) over raw samples."""
+        if not samples:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, unit)
+        s = sorted(samples)
+        p50, p90, p99 = (percentile_of_samples(s, q) for q in QUANTILES)
+        return cls(count=len(s), mean=sum(s) / len(s),
+                   p50=float(p50), p90=float(p90), p99=float(p99),
+                   min=float(s[0]), max=float(s[-1]), unit=unit)
+
+    @classmethod
+    def from_histogram(cls, h: Histogram,
+                       unit: str = "cycles") -> "SeriesSummary":
+        """Bucket-estimated summary (upper-bound percentiles clamped to
+        the observed min/max — see :meth:`Histogram.percentile`)."""
+        if h.count == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, unit)
+        p50, p90, p99 = (h.percentile(q) for q in QUANTILES)
+        return cls(count=h.count, mean=h.mean,
+                   p50=float(p50), p90=float(p90), p99=float(p99),
+                   min=float(h.min), max=float(h.max), unit=unit)
+
+    def scaled(self, factor: float, unit: str) -> "SeriesSummary":
+        """The same distribution in another unit (e.g. cycles -> µs)."""
+        return SeriesSummary(
+            count=self.count, mean=self.mean * factor,
+            p50=self.p50 * factor, p90=self.p90 * factor,
+            p99=self.p99 * factor, min=self.min * factor,
+            max=self.max * factor, unit=unit)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"count": self.count, "mean": self.mean, "p50": self.p50,
+                "p90": self.p90, "p99": self.p99, "min": self.min,
+                "max": self.max, "unit": self.unit}
+
+
+def summarize(samples_or_hist, unit: str = "cycles") -> SeriesSummary:
+    """Summarize either a :class:`Histogram` or a sample sequence."""
+    if isinstance(samples_or_hist, Histogram):
+        return SeriesSummary.from_histogram(samples_or_hist, unit)
+    return SeriesSummary.from_samples(samples_or_hist, unit)
+
+
+# --------------------------------------------------------------- DPR chains
+
+@dataclass(frozen=True)
+class DprChain:
+    """Critical path of one reconfiguring hardware-task request.
+
+    Stage boundaries (all cycle timestamps from the trace):
+
+    * ``entry``       — SVC trap → manager's first instruction
+    * ``decide``      — manager start → PCAP streaming launched (task
+      lookup, PRR selection, reclaim, mapping, hwMMU load)
+    * ``pcap``        — bitstream streaming into the PRR
+    * ``resume``      — manager posted the result → requester resumed
+      (overlaps ``pcap``: stage 6 explicitly does not await completion)
+    * ``ready``       — trap → reconfiguration landed: the end-to-end
+      latency until the new task is usable by the guest
+    """
+
+    vm: int
+    prr: int
+    task: str
+    t_request: int
+    entry: int
+    decide: int
+    pcap: int
+    resume: int
+    ready: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"vm": self.vm, "prr": self.prr, "task": self.task,
+                "t_request": self.t_request, "entry": self.entry,
+                "decide": self.decide, "pcap": self.pcap,
+                "resume": self.resume, "ready": self.ready}
+
+
+def dpr_chains(tracer: Tracer) -> list[DprChain]:
+    """Pair every PCAP transfer with the request chain that launched it.
+
+    A ``pcap_xfer`` span whose start falls inside a request's
+    ``mgr_exec`` window belongs to that request (the manager is a single
+    serialized service, so containment is unambiguous).  Requests that
+    hit a resident task (no reconfiguration) produce no chain here —
+    their latency is fully described by the Table III classes.
+    """
+    from ..kernel.hypercalls import Hc
+    xfers = tracer.spans("pcap_xfer", key="prr")
+    chains = tracer.chains(HWREQ_CHAIN, key="vm",
+                           first_match={"hc": int(Hc.HWTASK_REQUEST)})
+    out: list[DprChain] = []
+    for dur, xs, xe in xfers:
+        for trap, exec_start, exec_end, resumed in chains:
+            if exec_start.t <= xs.t <= exec_end.t:
+                out.append(DprChain(
+                    vm=trap.info.get("vm", 0),
+                    prr=xs.info.get("prr", -1),
+                    task=str(xs.info.get("task", "?")),
+                    t_request=trap.t,
+                    entry=exec_start.t - trap.t,
+                    decide=xs.t - exec_start.t,
+                    pcap=dur,
+                    resume=resumed.t - exec_end.t,
+                    ready=xe.t - trap.t))
+                break
+    return out
+
+
+def dpr_stage_summaries(chains: Iterable[DprChain]) -> dict[str, SeriesSummary]:
+    """Per-stage distribution summaries over a set of DPR chains."""
+    chains = list(chains)
+    out: dict[str, SeriesSummary] = {}
+    for stage in ("entry", "decide", "pcap", "resume", "ready"):
+        out[stage] = SeriesSummary.from_samples(
+            [getattr(c, stage) for c in chains])
+    return out
+
+
+# ------------------------------------------------------------ vIRQ latency
+
+def plirq_latency_samples(tracer: Tracer) -> list[int]:
+    """PL-IRQ injection-to-delivery latency per distribution sequence:
+    the routing half (exception vector → vGIC pend) plus the injection
+    half (vGIC scan → guest forced to its IRQ entry), matching the
+    Table III "PL IRQ entry" definition.  An injection whose routing
+    half fell out of the ring counts its injection half alone."""
+    route = {s.info["seq"]: d
+             for d, s, _ in tracer.spans("plirq_route", key="seq")}
+    return [route.pop(s.info["seq"], 0) + d
+            for d, s, _ in tracer.spans("plirq_inject", key="seq")]

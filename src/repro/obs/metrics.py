@@ -113,6 +113,32 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float | None:
+        """Nearest-rank percentile estimate from the bucket counts.
+
+        ``q`` is a quantile in ``[0, 1]`` (``0.99`` = p99).  The estimate
+        is the upper bound of the bucket holding the target rank, clamped
+        to the observed ``[min, max]`` — so a single-sample histogram
+        returns exactly that sample, and a rank landing in the ``+Inf``
+        overflow bucket returns ``max`` (the histogram cannot resolve
+        beyond its last bound).  An empty histogram returns ``None``
+        rather than raising; an out-of-range ``q`` raises ``ValueError``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1]: {q}")
+        if self.count == 0:
+            return None
+        assert self.min is not None and self.max is not None
+        if q == 0.0:
+            return float(self.min)
+        rank = max(1, -(-q * self.count // 1))      # ceil(q * count)
+        cum = 0
+        for bound, n in zip(self.buckets, self.counts):
+            cum += n
+            if cum >= rank:
+                return float(min(max(bound, self.min), self.max))
+        return float(self.max)      # rank fell in the +Inf overflow bucket
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<Histogram {self.name}{_labels_str(self.labels)} "
                 f"n={self.count} mean={self.mean:.1f}>")

@@ -87,6 +87,11 @@ class Simulator:
         self._m_scheduled = None
         self._m_fired = None
         self._m_idle = None
+        self._m_idle_cycles = None
+        # Optional per-VM accountant (attached by the kernel at boot): its
+        # idle ledger is fed from here, because only the engine knows how
+        # far an idle fast-forward jumped.
+        self._accounting = None
 
     def attach_metrics(self, metrics) -> None:
         """Mirror engine activity into a
@@ -94,6 +99,12 @@ class Simulator:
         self._m_scheduled = metrics.counter("sim.events_scheduled")
         self._m_fired = metrics.counter("sim.events_fired")
         self._m_idle = metrics.counter("sim.idle_advances")
+        self._m_idle_cycles = metrics.counter("sim.idle_cycles")
+
+    def attach_accounting(self, accounting) -> None:
+        """Report idle fast-forwards to a
+        :class:`~repro.obs.accounting.VmAccounting` (``charge_idle``)."""
+        self._accounting = accounting
 
     # -- scheduling ----------------------------------------------------
 
@@ -154,6 +165,14 @@ class Simulator:
             return False
         if self._m_idle is not None:
             self._m_idle.inc()
+        skipped = max(0, t - self.clock.now)
+        if skipped:
+            if self._m_idle_cycles is not None:
+                self._m_idle_cycles.inc(skipped)
+            if self._accounting is not None:
+                # Before the jump, so the accountant settles the open
+                # context first and books the gap as idle.
+                self._accounting.charge_idle(skipped)
         self.clock.advance_to(max(t, self.clock.now))
         self.dispatch_due()
         return True

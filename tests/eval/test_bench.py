@@ -1,0 +1,205 @@
+"""Bench artifact pipeline: payload schema, determinism, regression gate."""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.eval.bench import (
+    PROFILES,
+    SCHEMA_VERSION,
+    default_artifact_path,
+    run_bench,
+    write_bench,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_bench_compare():
+    """tools/ is not a package; load the script as a module."""
+    path = REPO_ROOT / "tools" / "bench_compare.py"
+    spec = importlib.util.spec_from_file_location("bench_compare", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+bench_compare = _load_bench_compare()
+
+
+@pytest.fixture(scope="module")
+def payload():
+    """One short real bench run shared by the schema tests."""
+    return run_bench("quick", guests=2, ms=40.0, seed=2)
+
+
+REQUIRED_SERIES = (
+    "vm_switch_cycles", "hypercall_cycles", "mgr_exec_cycles",
+    "virq_delivery_cycles", "plirq_entry_cycles",
+    "hwreq_entry_cycles", "hwreq_execution_cycles", "hwreq_exit_cycles",
+    "hwreq_total_cycles",
+    "dpr_entry_cycles", "dpr_decide_cycles", "dpr_pcap_cycles",
+    "dpr_resume_cycles", "reconfig_cycles",
+)
+
+
+class TestRunBench:
+    def test_schema_shape(self, payload):
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["name"] == "quick"
+        assert payload["scenario"] == {
+            "guests": 2, "ms": 40.0, "seed": 2,
+            "cpu_hz": payload["scenario"]["cpu_hz"]}
+        for key in ("cycles", "vm_switches", "hypercalls", "irqs",
+                    "manager_requests", "pcap_transfers", "completions"):
+            assert key in payload["totals"]
+        for name in REQUIRED_SERIES:
+            assert name in payload["series"], name
+
+    def test_core_series_have_percentiles(self, payload):
+        """The headline latency axes must be populated on a real run."""
+        for name in ("vm_switch_cycles", "hypercall_cycles",
+                     "virq_delivery_cycles", "reconfig_cycles"):
+            s = payload["series"][name]
+            assert s["count"] > 0, name
+            assert s["p50"] <= s["p90"] <= s["p99"] <= s["max"]
+            assert s["min"] > 0 and s["unit"] == "cycles"
+
+    def test_accounting_invariant_in_artifact(self, payload):
+        acct = payload["accounting"]
+        assert (acct["total_accounted"]
+                == payload["totals"]["cycles"] - acct["start_cycle"])
+        per_vm = sum(v["cpu_cycles"] for v in acct["vms"])
+        assert (acct["kernel_cycles"] + acct["idle_cycles"] + per_vm
+                == acct["total_accounted"])
+
+    def test_profiles_and_artifact_path(self):
+        assert set(PROFILES) == {"paper", "quick"}
+        assert default_artifact_path("paper") == "BENCH_paper.json"
+
+    def test_write_bench_round_trips_deterministically(self, payload,
+                                                       tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_bench(payload, str(a))
+        write_bench(json.loads(a.read_text()), str(b))
+        assert a.read_bytes() == b.read_bytes()
+        assert json.loads(a.read_text()) == payload
+
+
+def _artifact(series):
+    return {"schema_version": SCHEMA_VERSION, "series": series}
+
+
+def _series(count=10, mean=100.0, p99=200.0):
+    return {"count": count, "mean": mean, "p50": mean, "p90": p99,
+            "p99": p99, "min": 1.0, "max": p99, "unit": "cycles"}
+
+
+class TestCompare:
+    def test_identical_artifacts_pass(self):
+        base = _artifact({"x_cycles": _series()})
+        regressions, lines = bench_compare.compare(
+            base, copy.deepcopy(base), threshold_pct=10.0,
+            metrics=("mean", "p99"))
+        assert regressions == []
+        assert any("ok" in line for line in lines)
+
+    def test_injected_20pct_regression_detected(self):
+        base = _artifact({"x_cycles": _series(mean=100.0, p99=200.0)})
+        new = _artifact({"x_cycles": _series(mean=120.0, p99=240.0)})
+        regressions, lines = bench_compare.compare(
+            base, new, threshold_pct=10.0, metrics=("mean", "p99"))
+        assert regressions == ["x_cycles"]
+        assert any("REGRESS" in line for line in lines)
+
+    def test_improvement_passes(self):
+        base = _artifact({"x_cycles": _series(mean=100.0, p99=200.0)})
+        new = _artifact({"x_cycles": _series(mean=50.0, p99=90.0)})
+        regressions, _ = bench_compare.compare(
+            base, new, threshold_pct=10.0, metrics=("mean", "p99"))
+        assert regressions == []
+
+    def test_vanished_series_fails(self):
+        base = _artifact({"x_cycles": _series()})
+        new = _artifact({"x_cycles": _series(count=0, mean=0.0, p99=0.0)})
+        regressions, lines = bench_compare.compare(
+            base, new, threshold_pct=10.0, metrics=("mean",))
+        assert regressions == ["x_cycles"]
+        assert any("MISSING" in line for line in lines)
+
+    def test_empty_baseline_series_skipped(self):
+        base = _artifact({"x_cycles": _series(count=0, mean=0.0, p99=0.0)})
+        new = _artifact({"x_cycles": _series()})
+        regressions, lines = bench_compare.compare(
+            base, new, threshold_pct=10.0, metrics=("mean",))
+        assert regressions == [] and lines == []
+
+    def test_schema_mismatch_exits_2(self):
+        base = _artifact({"x_cycles": _series()})
+        new = dict(base, schema_version=SCHEMA_VERSION + 1)
+        with pytest.raises(SystemExit) as exc:
+            bench_compare.compare(base, new, threshold_pct=10.0,
+                                  metrics=("mean",))
+        assert exc.value.code == 2
+
+    def test_only_series_restricts_gate(self):
+        base = _artifact({"a_cycles": _series(), "b_cycles": _series()})
+        new = _artifact({"a_cycles": _series(),
+                         "b_cycles": _series(mean=130.0, p99=260.0)})
+        regressions, _ = bench_compare.compare(
+            base, new, threshold_pct=10.0, metrics=("mean",),
+            only_series=["a_cycles"])
+        assert regressions == []
+
+
+class TestCompareCli:
+    def _write(self, tmp_path, name, payload):
+        p = tmp_path / name
+        p.write_text(json.dumps(payload))
+        return str(p)
+
+    def test_exit_0_on_identical(self, tmp_path, capsys):
+        base = _artifact({"x_cycles": _series()})
+        a = self._write(tmp_path, "a.json", base)
+        b = self._write(tmp_path, "b.json", base)
+        assert bench_compare.main([a, b]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_exit_1_on_regression(self, tmp_path, capsys):
+        base = _artifact({"x_cycles": _series(mean=100.0, p99=200.0)})
+        new = _artifact({"x_cycles": _series(mean=120.0, p99=240.0)})
+        a = self._write(tmp_path, "a.json", base)
+        b = self._write(tmp_path, "b.json", new)
+        assert bench_compare.main([a, b]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_threshold_flag_loosens_gate(self, tmp_path):
+        base = _artifact({"x_cycles": _series(mean=100.0, p99=200.0)})
+        new = _artifact({"x_cycles": _series(mean=120.0, p99=240.0)})
+        a = self._write(tmp_path, "a.json", base)
+        b = self._write(tmp_path, "b.json", new)
+        assert bench_compare.main([a, b, "--threshold", "25"]) == 0
+
+    def test_exit_2_on_unreadable_artifact(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{not json")
+        with pytest.raises(SystemExit) as exc:
+            bench_compare.main([str(bogus), str(bogus)])
+        assert exc.value.code == 2
+
+    def test_exit_2_on_non_artifact(self, tmp_path):
+        p = self._write(tmp_path, "p.json", {"no_series": True})
+        with pytest.raises(SystemExit) as exc:
+            bench_compare.main([p, p])
+        assert exc.value.code == 2
+
+    def test_committed_baseline_is_current_schema(self):
+        baseline = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_quick.json"
+        payload = json.loads(baseline.read_text())
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["series"]["vm_switch_cycles"]["count"] > 0

@@ -6,7 +6,7 @@ from repro.eval.fig9 import degradation_from_table3
 from repro.eval.measures import OverheadSamples, _trimmed_mean, extract_overheads
 from repro.eval.table3 import Table3Result
 from repro.kernel.hypercalls import Hc
-from repro.kernel.trace import Tracer
+from repro.obs.trace import Tracer
 
 
 class _Clock:

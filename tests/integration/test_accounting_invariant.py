@@ -1,0 +1,71 @@
+"""The per-VM accounting books balance exactly on a full scenario run.
+
+Every simulated cycle after boot must land on exactly one ledger:
+some VM's guest-kernel / guest-user / on-behalf kernel time, the
+unattributed kernel, or idle.  If this ever drifts, a kernel path is
+missing a context push/pop (docs/BENCHMARKS.md, "The accounting
+invariant").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.scenarios import build_virtualized
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    sc = build_virtualized(3, seed=11)
+    sc.run_ms(80.0)
+    sc.kernel.acct.settle()
+    return sc
+
+
+def test_books_balance_exactly(scenario):
+    acct = scenario.kernel.acct
+    elapsed = scenario.kernel.sim.now - acct.start_cycle
+    assert acct.total_accounted() == elapsed
+
+
+def test_every_vm_got_cpu_and_services(scenario):
+    acct = scenario.kernel.acct
+    k = scenario.kernel
+    # Manager PD + 3 guests are all on the books.
+    assert len(acct.vms) == 4
+    mgr_vm = k.manager_pd.vm_id
+    guest_accounts = [a for a in acct.vms.values() if a.vm_id != mgr_vm]
+    assert len(guest_accounts) == len(scenario.guests)
+    for vm in guest_accounts:
+        assert vm.cpu_cycles > 0
+        assert vm.guest_kernel_cycles + vm.guest_user_cycles > 0
+        assert vm.switches_in > 0
+        assert vm.hypercalls > 0
+    # Tallies are consistent with the kernel's own counters.
+    assert sum(a.hypercalls for a in acct.vms.values()) == k.hypercall_count
+    assert sum(a.switches_in for a in acct.vms.values()) == k.vm_switch_count
+
+
+def test_virq_latency_samples_recorded(scenario):
+    acct = scenario.kernel.acct
+    samples = acct.virq_latency_samples()
+    assert samples, "no vIRQ injection-to-delivery samples on a live run"
+    assert all(s >= 0 for s in samples)
+    injected = sum(a.virqs_injected for a in acct.vms.values())
+    assert len(samples) <= injected
+
+
+def test_prr_occupancy_attributed(scenario):
+    """Hardware tasks ran, so somebody must have held fabric regions."""
+    acct = scenario.kernel.acct
+    acct.close_prr_occupancy()
+    assert sum(a.prr_occupancy_cycles for a in acct.vms.values()) > 0
+
+
+def test_snapshot_reports_the_same_invariant(scenario):
+    snap = scenario.kernel.acct.snapshot()
+    assert snap["total_accounted"] == (scenario.kernel.sim.now
+                                       - snap["start_cycle"])
+    per_vm = sum(v["cpu_cycles"] for v in snap["vms"])
+    assert (snap["kernel_cycles"] + snap["idle_cycles"] + per_vm
+            == snap["total_accounted"])

@@ -80,6 +80,52 @@ class TestHistogram:
             Histogram("h", buckets=())
 
 
+class TestHistogramPercentile:
+    def test_empty_returns_none(self):
+        h = Histogram("h", buckets=(10, 20))
+        assert h.percentile(0.5) is None
+        assert h.percentile(0.99) is None
+
+    def test_out_of_range_q_raises(self):
+        h = Histogram("h", buckets=(10,))
+        h.observe(5)
+        with pytest.raises(ValueError):
+            h.percentile(-0.1)
+        with pytest.raises(ValueError):
+            h.percentile(1.1)
+
+    def test_single_sample_returns_that_sample(self):
+        """Clamping to [min, max] makes any quantile of a one-sample
+        histogram exactly that sample, not a bucket bound."""
+        h = Histogram("h", buckets=(100, 200))
+        h.observe(7)
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert h.percentile(q) == 7.0
+
+    def test_overflow_bucket_returns_max(self):
+        """A rank landing in the +Inf overflow bucket cannot be resolved
+        beyond the last bound: the documented value is the observed max."""
+        h = Histogram("h", buckets=(10,))
+        h.observe(5)
+        h.observe(5_000)
+        assert h.percentile(0.99) == 5_000.0
+
+    def test_bucket_estimate_is_clamped_bound(self):
+        h = Histogram("h", buckets=(10, 20, 50))
+        for v in (3, 4, 12, 13):
+            h.observe(v)
+        # p50 rank 2 -> first bucket, bound 10 clamped into [3, 13].
+        assert h.percentile(0.5) == 10.0
+        # p99 rank 4 -> second bucket, bound 20 clamped to max=13.
+        assert h.percentile(0.99) == 13.0
+
+    def test_q_zero_returns_min(self):
+        h = Histogram("h", buckets=(10,))
+        h.observe(4)
+        h.observe(9)
+        assert h.percentile(0.0) == 4.0
+
+
 class TestRender:
     def test_render_contains_all_series(self):
         r = MetricsRegistry()

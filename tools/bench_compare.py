@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json artifacts and fail on latency regressions.
+
+Usage:
+    python tools/bench_compare.py BASELINE NEW [--threshold PCT]
+                                  [--metrics mean,p99] [--series NAME ...]
+
+For every latency series present in the baseline with samples, the
+selected per-series statistics (default: ``mean`` and ``p99``) are
+compared against the new artifact.  A relative increase above the
+threshold (default 10%) is a regression; improvements and sub-threshold
+noise pass.  A series that has samples in the baseline but is missing or
+empty in the new artifact also fails — a silently vanished measurement
+is worse than a slow one.  Exit status: 0 = clean, 1 = regression(s),
+2 = unusable input (schema mismatch, unreadable file).
+
+The artifact schema is documented in docs/BENCHMARKS.md; CI runs this
+against the committed baseline in ``benchmarks/baselines/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+DEFAULT_THRESHOLD_PCT = 10.0
+DEFAULT_METRICS = ("mean", "p99")
+
+
+def _die(msg: str) -> "NoReturn":
+    print(msg, file=sys.stderr)
+    sys.exit(2)
+
+
+def load_artifact(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as f:
+            payload = json.load(f)
+    except (OSError, ValueError) as exc:
+        _die(f"error: cannot read artifact {path}: {exc}")
+    if not isinstance(payload, dict) or "series" not in payload:
+        _die(f"error: {path} is not a bench artifact (no 'series' key)")
+    return payload
+
+
+def compare(baseline: dict, new: dict, *, threshold_pct: float,
+            metrics: tuple[str, ...], only_series: list[str] | None = None
+            ) -> tuple[list[str], list[str]]:
+    """Returns (regressions, report_lines)."""
+    if baseline.get("schema_version") != new.get("schema_version"):
+        _die(f"error: schema_version mismatch "
+             f"({baseline.get('schema_version')} vs {new.get('schema_version')})")
+    regressions: list[str] = []
+    lines: list[str] = []
+    base_series = baseline["series"]
+    new_series = new["series"]
+    names = only_series if only_series else sorted(base_series)
+    for name in names:
+        base = base_series.get(name)
+        if base is None:
+            _die(f"error: series {name!r} not in baseline")
+        if not base.get("count"):
+            continue                    # nothing to regress against
+        cur = new_series.get(name)
+        if cur is None or not cur.get("count"):
+            regressions.append(name)
+            lines.append(f"MISSING  {name}: baseline has "
+                         f"{base['count']} samples, new artifact has none")
+            continue
+        worst = float("-inf")
+        worst_metric = ""
+        for metric in metrics:
+            b, n = base.get(metric), cur.get(metric)
+            if not b:                   # zero/absent baseline: undefined rel
+                continue
+            rel = (n - b) / b * 100.0
+            if rel > worst:
+                worst, worst_metric = rel, metric
+        if not worst_metric:
+            lines.append(f"{'ok':8} {name}: no comparable metric "
+                         f"(n {base['count']} -> {cur['count']})")
+            continue
+        regressed = worst > threshold_pct
+        if regressed:
+            regressions.append(name)
+        lines.append(f"{'REGRESS' if regressed else 'ok':8} {name}: "
+                     f"{worst_metric} {worst:+.1f}% "
+                     f"(n {base['count']} -> {cur['count']})")
+    return regressions, lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="baseline BENCH_*.json")
+    ap.add_argument("new", help="candidate BENCH_*.json")
+    ap.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD_PCT,
+                    metavar="PCT",
+                    help="max tolerated relative increase per statistic "
+                         f"(default {DEFAULT_THRESHOLD_PCT:g}%%)")
+    ap.add_argument("--metrics", default=",".join(DEFAULT_METRICS),
+                    help="comma-separated statistics to gate on "
+                         f"(default {','.join(DEFAULT_METRICS)})")
+    ap.add_argument("--series", nargs="*", default=None,
+                    help="restrict the comparison to these series names")
+    args = ap.parse_args(argv)
+
+    baseline = load_artifact(args.baseline)
+    new = load_artifact(args.new)
+    metrics = tuple(m.strip() for m in args.metrics.split(",") if m.strip())
+    regressions, lines = compare(baseline, new,
+                                 threshold_pct=args.threshold,
+                                 metrics=metrics, only_series=args.series)
+    print(f"comparing {args.new} against {args.baseline} "
+          f"(threshold {args.threshold:g}%, metrics {', '.join(metrics)})")
+    for line in lines:
+        print(f"  {line}")
+    if regressions:
+        print(f"FAIL: {len(regressions)} series regressed: "
+              f"{', '.join(regressions)}")
+        return 1
+    print("PASS: no series regressed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,20 +1,29 @@
 #!/usr/bin/env python3
-"""Check that docs/OBSERVABILITY.md's event catalog matches the code.
+"""Check that docs/OBSERVABILITY.md's catalogs match the code.
 
-Scans ``src/repro`` for trace-event emission sites::
+**Events** — scans ``src/repro`` for trace-event emission sites::
 
     .mark("name", ...)          -> name
     .mark_at(t, "name", ...)    -> name
     .span("name", ...)          -> name_start, name_end
 
 and parses the catalog tables of docs/OBSERVABILITY.md (rows of the form
-``| `name` | default/verbose | ...``).  Exits non-zero, listing the
-difference, if either side has a name the other lacks.  Run by CI next to
-the test suite; run it locally with ``python tools/check_event_catalog.py``.
+``| `name` | default/verbose | ...``).
 
-Only string-literal event names are recognised.  If you must compute an
-event name dynamically (don't), add a ``# obs-event: name`` comment on
-the emitting line so the catalog check can see it.
+**Metrics** — scans for registration sites
+(``.counter("x.y")`` / ``.gauge("x.y")`` / ``.histogram("x.y")``), parses
+the §6 metrics catalog (dotted backticked names in the first table cell),
+and additionally runs a small scenario to collect every metric name
+*registered at runtime*, which must be a subset of the documented set.
+
+Exits non-zero, listing the difference, if any side has a name the other
+lacks.  Run by CI next to the test suite; run it locally with
+``python tools/check_event_catalog.py``.
+
+Only string-literal names are recognised.  If you must compute an event
+or metric name dynamically (don't), add a ``# obs-event: name`` /
+``# obs-metric: x.y`` comment on the emitting line so the check can see
+it.
 """
 
 from __future__ import annotations
@@ -34,6 +43,16 @@ ANNOT_RE = re.compile(r"#\s*obs-event:\s*([a-z0-9_]+)")
 
 #: catalog rows: | `name` | default | ... / | `name` | verbose | ...
 DOC_ROW_RE = re.compile(r"^\|\s*`([a-z0-9_]+)`\s*\|\s*(default|verbose)\s*\|")
+
+#: metric registrations: .counter("kernel.irqs"), .histogram(\n "x.y")...
+METRIC_RE = re.compile(
+    r'\.(?:counter|gauge|histogram)\(\s*"([a-z0-9_]+(?:\.[a-z0-9_]+)+)"')
+METRIC_ANNOT_RE = re.compile(r"#\s*obs-metric:\s*([a-z0-9_.]+)")
+
+#: metric catalog rows: dotted backticked names in the first table cell
+#: (a cell may list several, e.g. `pcap.transfers`, `pcap.bytes_moved`).
+DOC_METRIC_CELL_RE = re.compile(r"^\|([^|]+)\|")
+DOC_METRIC_NAME_RE = re.compile(r"`([a-z0-9_]+(?:\.[a-z0-9_]+)+)`")
 
 
 def events_in_code() -> dict[str, set[str]]:
@@ -67,6 +86,64 @@ def events_in_doc() -> dict[str, str]:
     return out
 
 
+def metrics_in_code() -> dict[str, set[str]]:
+    """Metric name -> set of registering files (src/repro-relative).
+
+    Unlike the event scan, ``obs/`` is *included*: only literal dotted
+    names match, so the registry implementation itself stays invisible
+    while e.g. the accountant's own histogram registration is seen.
+    """
+    out: dict[str, set[str]] = {}
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        text = path.read_text()
+        for rx in (METRIC_RE, METRIC_ANNOT_RE):
+            for m in rx.finditer(text):
+                out.setdefault(m.group(1), set()).add(rel)
+    return out
+
+
+def metrics_in_doc() -> set[str]:
+    """Every dotted metric name from the §6 catalog table."""
+    out: set[str] = set()
+    for line in DOC.read_text().splitlines():
+        cell = DOC_METRIC_CELL_RE.match(line.strip())
+        if cell:
+            out.update(DOC_METRIC_NAME_RE.findall(cell.group(1)))
+    return out
+
+
+def metrics_at_runtime() -> set[str]:
+    """Metric names actually registered by a small scenario run."""
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.eval.scenarios import build_native, build_virtualized
+
+    names: set[str] = set()
+    for sc in (build_virtualized(1, seed=1), build_native(seed=1)):
+        sc.run_ms(30)
+        reg = sc.metrics
+        for group in (reg.counters(), reg.gauges(), reg.histograms()):
+            names.update(m.name for m in group)
+    return names
+
+
+def _report(kind: str, missing_doc: list[str], stale_doc: list[str],
+            sites: dict[str, set[str]] | None = None) -> bool:
+    if missing_doc:
+        print(f"{kind} in src/repro but missing from docs/OBSERVABILITY.md:",
+              file=sys.stderr)
+        for name in missing_doc:
+            where = (f"  ({', '.join(sorted(sites[name]))})"
+                     if sites and name in sites else "")
+            print(f"  {name}{where}", file=sys.stderr)
+    if stale_doc:
+        print(f"{kind} documented in docs/OBSERVABILITY.md but absent from "
+              "src/repro:", file=sys.stderr)
+        for name in stale_doc:
+            print(f"  {name}", file=sys.stderr)
+    return bool(missing_doc or stale_doc)
+
+
 def main() -> int:
     code = events_in_code()
     doc = events_in_doc()
@@ -79,24 +156,33 @@ def main() -> int:
               "the table format changed?", file=sys.stderr)
         return 2
 
-    undocumented = sorted(set(code) - set(doc))
-    stale = sorted(set(doc) - set(code))
-    if undocumented:
-        print("events emitted by src/repro but missing from "
-              "docs/OBSERVABILITY.md:", file=sys.stderr)
-        for name in undocumented:
-            print(f"  {name}  (emitted by {', '.join(sorted(code[name]))})",
-                  file=sys.stderr)
-    if stale:
-        print("events documented in docs/OBSERVABILITY.md but never "
-              "emitted by src/repro:", file=sys.stderr)
-        for name in stale:
-            print(f"  {name}  (listed as level={doc[name]})", file=sys.stderr)
-    if undocumented or stale:
-        return 1
+    failed = _report("events", sorted(set(code) - set(doc)),
+                     sorted(set(doc) - set(code)), code)
 
+    m_code = metrics_in_code()
+    m_doc = metrics_in_doc()
+    if not m_code or not m_doc:
+        print("error: found no metric registrations or no metric catalog "
+              "rows — the metric scanner is probably broken", file=sys.stderr)
+        return 2
+    failed |= _report("metrics", sorted(set(m_code) - m_doc),
+                      sorted(m_doc - set(m_code)), m_code)
+
+    m_runtime = metrics_at_runtime()
+    undoc_runtime = sorted(m_runtime - m_doc)
+    if undoc_runtime:
+        print("metrics registered at runtime but missing from "
+              "docs/OBSERVABILITY.md:", file=sys.stderr)
+        for name in undoc_runtime:
+            print(f"  {name}", file=sys.stderr)
+        failed = True
+
+    if failed:
+        return 1
     print(f"event catalog OK: {len(doc)} events, "
           f"{len({f for fs in code.values() for f in fs})} emitting modules")
+    print(f"metric catalog OK: {len(m_doc)} metrics documented, "
+          f"{len(m_runtime)} registered at runtime")
     return 0
 
 
