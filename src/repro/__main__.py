@@ -12,6 +12,10 @@ Commands:
   ``BENCH_<name>.json`` latency/accounting artifact (``--quick`` for the
   CI smoke profile; see docs/BENCHMARKS.md and tools/bench_compare.py)
 * ``inventory``— list the hardware-task library and the fabric floorplan
+* ``faults``   — run the deterministic fault-injection matrix
+  (``--list`` for the catalog, ``--scenario NAME|all`` to execute; output
+  is seeded, sorted-keys JSON — byte-identical across runs, which the CI
+  ``fault-matrix`` job checks.  See docs/FAULTS.md)
 """
 
 from __future__ import annotations
@@ -98,6 +102,42 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    import json
+
+    from .faults.matrix import SCENARIOS, run_all, run_scenario
+
+    if args.list:
+        print("fault scenarios (docs/FAULTS.md):")
+        for name, fn in SCENARIOS.items():
+            doc = (fn.__doc__ or "").strip().split("\n")[0]
+            print(f"  {name:14s} {doc}")
+        return 0
+    if args.scenario == "all":
+        payload = run_all(args.seed)
+    else:
+        try:
+            payload = run_scenario(args.scenario, args.seed)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as f:
+                f.write(text)
+        except OSError as exc:
+            print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    ok = payload["ok"]
+    if not ok:
+        print("FAULT MATRIX: one or more checks failed", file=sys.stderr)
+    return 0 if ok else 1
+
+
 def cmd_inventory(args: argparse.Namespace) -> int:
     from .machine import Machine
 
@@ -162,6 +202,18 @@ def main(argv: list[str] | None = None) -> int:
 
     p_inv = sub.add_parser("inventory", help="task library + floorplan")
     p_inv.set_defaults(fn=cmd_inventory)
+
+    p_faults = sub.add_parser(
+        "faults", help="run the deterministic fault-injection matrix")
+    p_faults.add_argument("--list", action="store_true",
+                          help="list the scenario catalog and exit")
+    p_faults.add_argument("--scenario", default="all", metavar="NAME",
+                          help="scenario name, or 'all' (default)")
+    p_faults.add_argument("--seed", type=int, default=1)
+    p_faults.add_argument("--out", metavar="FILE", default=None,
+                          help="write the JSON result to FILE instead of "
+                               "stdout")
+    p_faults.set_defaults(fn=cmd_faults)
 
     args = ap.parse_args(argv)
     return args.fn(args)

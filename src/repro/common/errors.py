@@ -20,6 +20,20 @@ class SimulationError(ReproError):
     """The discrete-event engine reached an impossible state."""
 
 
+class DeviceError(ReproError):
+    """A modelled device (PCAP, PRR controller...) failed an operation."""
+
+
+class DeviceBusy(DeviceError, ConfigError):
+    """The device is already servicing a request.
+
+    Inherits :class:`ConfigError` as a deprecation-safe alias: callers
+    that still catch ``ConfigError`` for the old PCAP "transfer already
+    in progress" path keep working, but new code should catch
+    :class:`DeviceBusy` (or :class:`DeviceError`).
+    """
+
+
 class MemoryError_(ReproError):
     """Host-level memory-map misuse (overlapping regions, bad ranges)."""
 

@@ -58,6 +58,10 @@ def collect_series(sc: VirtScenario) -> dict[str, SeriesSummary]:
             k.acct.virq_latency_samples()),
         "plirq_entry_cycles": SeriesSummary.from_samples(
             plirq_latency_samples(k.tracer)),
+        # Fault-recovery latency (watchdog reclaim): zero-count in healthy
+        # runs, populated when the scenario was built with a fault plan.
+        "recovery_latency_cycles": SeriesSummary.from_histogram(
+            k.metrics.histogram("recovery.latency_cycles")),
     }
     o = extract_overheads(k.tracer)           # Table III classes, exact
     series["hwreq_entry_cycles"] = SeriesSummary.from_samples(o.entry)
@@ -102,6 +106,21 @@ def run_bench(name: str = "paper", *, guests: int | None = None,
             "completions": sc.total_completions(),
         },
         "series": {n: s.as_dict() for n, s in sorted(series.items())},
+        # Fault/recovery accounting (docs/FAULTS.md).  All-zero in the
+        # default healthy-fabric profiles — the counters exist so a
+        # fault-plan bench can be diffed against a healthy baseline.
+        "faults": {
+            "injected": k.metrics.total("fault.injected"),
+            "pcap_errors": k.metrics.total("pcap.errors"),
+            "pcap_retries": k.metrics.total("recovery.pcap_retries"),
+            "pcap_giveups": k.metrics.total("recovery.pcap_giveups"),
+            "watchdog_reclaims": k.metrics.total(
+                "recovery.watchdog_reclaims"),
+            "sw_fallbacks": k.metrics.total("recovery.sw_fallbacks"),
+            "vm_kills": k.metrics.total("kernel.vm_kills"),
+            "hypercall_faults": k.metrics.total("kernel.hypercall_faults"),
+            "plirq_spurious": k.metrics.total("kernel.plirq_spurious"),
+        },
         "accounting": acct.snapshot(),
     }
 

@@ -64,6 +64,9 @@ class VirtScenario:
     manager: ManagerService
     guests: list[GuestSetup]
     directory: dict[str, int]
+    #: The fault injector, when the scenario was built with a fault plan
+    #: (``None`` for the default healthy-fabric runs).
+    injector: "object | None" = None
 
     @property
     def tracer(self):
@@ -124,10 +127,16 @@ def build_virtualized(n_guests: int, *, seed: int = 1,
                       kernel_config: KernelConfig | None = None,
                       machine_config: MachineConfig | None = None,
                       manager: ManagerService | None = None,
+                      fault_plan=None,
                       tick_hz: int = 100) -> VirtScenario:
     machine = Machine(machine_config)
     kernel = MiniNova(machine, kernel_config)
     kernel.boot()
+    injector = None
+    if fault_plan is not None:
+        from ..faults.inject import FaultInjector
+        injector = FaultInjector(fault_plan)
+        injector.attach(machine, kernel)
     manager = manager or ManagerService()
     kernel.attach_manager(manager)
     directory = task_directory(machine)
@@ -142,7 +151,8 @@ def build_virtualized(n_guests: int, *, seed: int = 1,
         kernel.create_vm(os_.name, ParavirtUcos(os_))
         guests.append(setup)
     return VirtScenario(machine=machine, kernel=kernel, manager=manager,
-                        guests=guests, directory=directory)
+                        guests=guests, directory=directory,
+                        injector=injector)
 
 
 def build_native(*, seed: int = 1, use_irq: bool = True, verify: bool = False,

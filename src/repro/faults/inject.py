@@ -1,0 +1,98 @@
+"""The fault injector: glue between a :class:`~repro.faults.plan.FaultPlan`
+and the hardened device/kernel code.
+
+Devices expose a ``faults`` attachment point (``machine.pcap.faults``,
+``machine.prr_controller.faults``); when one is attached, the device asks
+``faults.fire(site, ...)`` at each named site it reaches.  The injector
+consults the plan, does the observability bookkeeping (``fault.injected``
+counter + ``fault_inject`` trace event), and hands the spec back so the
+site can read its parameters.  Without an injector attached, the hardened
+code takes the exact happy path it always took — no extra events, no
+timing perturbation.
+
+PL-IRQ storms have no device-side site (they model *unsolicited* fabric
+interrupts), so the injector schedules them itself at attach time.
+"""
+
+from __future__ import annotations
+
+from ..gic.irqs import pl_irq
+from .plan import FaultPlan, FaultSpec, PLIRQ_STORM
+
+
+class FaultInjector:
+    """Consults a plan at named sites; counts and traces every injection."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.machine = None
+        self._tracer = None
+        self._metrics = None
+
+    # -- wiring ---------------------------------------------------------
+
+    def attach(self, machine, kernel=None) -> None:
+        """Hook into a machine's fault sites (and a kernel's obs layer)."""
+        self.machine = machine
+        machine.pcap.faults = self
+        machine.prr_controller.faults = self
+        if kernel is not None:
+            self._tracer = kernel.tracer
+            self._metrics = kernel.metrics
+        self._schedule_storms(machine)
+
+    def attach_obs(self, tracer=None, metrics=None) -> None:
+        """Wire observability directly (native / kernel-less scenarios)."""
+        self._tracer = tracer
+        self._metrics = metrics
+
+    # -- the decision point ---------------------------------------------
+
+    def fire(self, site: str, **ctx) -> FaultSpec | None:
+        """Record an occurrence of ``site``; if the plan says it fires,
+        book the injection and return the spec (else ``None``)."""
+        spec = self.plan.should_fire(site)
+        if spec is None:
+            return None
+        if self._metrics is not None:
+            self._metrics.counter("fault.injected", site=site).inc()
+        if self._tracer is not None:
+            self._tracer.mark("fault_inject", cat="fault", site=site, **ctx)
+        return spec
+
+    # -- self-driven sites ----------------------------------------------
+
+    def _schedule_storms(self, machine) -> None:
+        """Arm a PL-IRQ storm burst if the plan requests one.
+
+        ``params``: ``at`` (cycle the burst starts, default 1000),
+        ``count`` (IRQs in the burst, default 8), ``line`` (PL line
+        0-15, default 0), ``spacing`` (cycles between assertions,
+        default 100).  The whole burst counts as one occurrence of the
+        :data:`~repro.faults.plan.PLIRQ_STORM` site.
+        """
+        if self.plan.spec_for(PLIRQ_STORM) is None:
+            return
+        machine.sim.schedule_at(
+            max(self._storm_param("at", 1000), machine.sim.now),
+            self._storm_begin, label="plirq-storm")
+
+    def _storm_param(self, key: str, default: int) -> int:
+        spec = self.plan.spec_for(PLIRQ_STORM)
+        return int(spec.params.get(key, default)) if spec else default
+
+    def _storm_begin(self) -> None:
+        spec = self.fire(PLIRQ_STORM, line=self._storm_param("line", 0))
+        if spec is None:
+            return
+        line = int(spec.params.get("line", 0))
+        count = int(spec.params.get("count", 8))
+        spacing = int(spec.params.get("spacing", 100))
+        sim, gic = self.machine.sim, self.machine.gic
+        # The storm models a fabric line left unmasked (stale enable from
+        # a previous owner): without the enable the distributor would just
+        # latch the pending bit and the CPU would never see the burst.
+        gic.set_enable(pl_irq(line), True)
+        for i in range(count):
+            sim.schedule(i * spacing, gic.assert_irq, pl_irq(line),
+                         label=f"plirq-storm-{i}")

@@ -53,6 +53,10 @@ CTL_HWMMU_LIMIT = 0x04
 CTL_IRQ_LINE = 0x08
 CTL_CLIENT = 0x0C
 CTL_CLEAR = 0x10
+CTL_KILL = 0x14
+
+#: REG_TASKID value a client reads after its reconfiguration was aborted.
+TASKID_RECONFIG_FAILED = 0xFFFF_FFFF
 
 
 def task_id_of(name: str) -> int:
@@ -76,8 +80,20 @@ class PrrController:
         self.params = params
         self.cpu_hz = cpu_hz
         self._pending: dict[int, EventHandle] = {}
+        self._watchdogs: dict[int, EventHandle] = {}
         #: Hook for tests/probes: called (prr_id, status) at completion.
         self.on_complete: Callable[[int, PrrStatus], None] | None = None
+        #: Hook wired by the kernel: called (prr_id) when the watchdog
+        #: detects a hung task.  Without it the controller recovers
+        #: locally (status -> ERR_NOTASK) but nobody reclaims the region.
+        self.on_hang: Callable[[int], None] | None = None
+        #: Fault injector attachment point (docs/FAULTS.md).  When None
+        #: (the default) every fault site is dead code: no extra events
+        #: are scheduled and timing is identical to the unhardened model.
+        self.faults = None
+        #: Watchdog deadline = expected latency x factor + slack cycles.
+        self.watchdog_factor = 4
+        self.watchdog_slack = 10_000
 
     @property
     def window_size(self) -> int:
@@ -114,6 +130,8 @@ class PrrController:
         if off == REG_IRQ_EN:
             return int(prr.irq_en)
         if off == REG_TASKID:
+            if prr.status == PrrStatus.ERR_RECONFIG:
+                return TASKID_RECONFIG_FAILED
             return 0 if prr.core is None or prr.reconfiguring \
                 else task_id_of(prr.core.name)
         if off == REG_CYCLES:
@@ -169,6 +187,12 @@ class PrrController:
         elif field == CTL_CLEAR:
             self._cancel(prr)
             prr.reset_regs()
+        elif field == CTL_KILL:
+            # Watchdog reclaim: the hosted core is presumed wedged — tear
+            # it down entirely; the PRR needs a fresh reconfiguration.
+            self._cancel(prr)
+            prr.reset_regs()
+            prr.core = None
 
     # -- task execution -------------------------------------------------------
 
@@ -188,6 +212,7 @@ class PrrController:
             self._maybe_irq(prr)
             return
         prr.status = PrrStatus.BUSY
+        prr.busy_since = self.sim.now
         exec_cycles = core.exec_fpga_cycles(prr.length)
         prr.last_exec_fpga_cycles = exec_cycles
         axi = self.params.axi_hp_bytes_per_cycle
@@ -197,12 +222,48 @@ class PrrController:
                       + exec_cycles
                       + -(-outlen // axi))
         delay = fpga_cycles_to_cpu_cycles(fpga_total, self.cpu_hz, self.params.hz)
+        if self.faults is not None:
+            if self.faults.fire("prr.hang", prr=prr.prr_id, task=core.name):
+                # The core wedges: no completion event.  Only the watchdog
+                # (armed below) can get the region back.
+                self._arm_watchdog(prr, delay)
+                return
+            if self.faults.fire("prr.spurious_done", prr=prr.prr_id,
+                                task=core.name):
+                # An unsolicited DONE IRQ mid-computation; status stays
+                # BUSY, so a correct client re-waits.
+                self.sim.schedule(max(1, delay // 2), self._maybe_irq, prr,
+                                  label=f"prr{prr.prr_id}-spurious")
+            self._arm_watchdog(prr, delay)
         self._pending[prr.prr_id] = self.sim.schedule(
             delay, self._complete, prr, core, outlen,
             label=f"prr{prr.prr_id}-{core.name}")
 
+    def _arm_watchdog(self, prr: Prr, expected_delay: int) -> None:
+        deadline = expected_delay * self.watchdog_factor + self.watchdog_slack
+        self._watchdogs[prr.prr_id] = self.sim.schedule(
+            deadline, self._watchdog_fire, prr,
+            label=f"prr{prr.prr_id}-watchdog")
+
+    def _watchdog_fire(self, prr: Prr) -> None:
+        self._watchdogs.pop(prr.prr_id, None)
+        if prr.status != PrrStatus.BUSY:
+            return                      # completed after all; stale timer
+        prr.hangs += 1
+        self._cancel(prr)
+        if self.on_hang is not None:
+            self.on_hang(prr.prr_id)
+        else:
+            # No manager wired (bare-device tests): recover locally so the
+            # region is at least not stuck BUSY forever.
+            prr.status = PrrStatus.ERR_NOTASK
+            self._maybe_irq(prr)
+
     def _complete(self, prr: Prr, core: IpCore, outlen: int) -> None:
         self._pending.pop(prr.prr_id, None)
+        wd = self._watchdogs.pop(prr.prr_id, None)
+        if wd is not None:
+            wd.cancel()
         data = self.bus.dram.read_bytes(prr.src, prr.length)
         result = core.run(data)
         if len(result) != outlen:
@@ -224,6 +285,9 @@ class PrrController:
         ev = self._pending.pop(prr.prr_id, None)
         if ev is not None:
             ev.cancel()
+        wd = self._watchdogs.pop(prr.prr_id, None)
+        if wd is not None:
+            wd.cancel()
 
     # -- reconfiguration interface (PCAP side) -------------------------------
 
@@ -242,3 +306,12 @@ class PrrController:
         prr.core = core
         prr.reconfiguring = False
         prr.reconfig_count += 1
+
+    def abort_reconfig(self, prr_id: int) -> None:
+        """PCAP gave up on this region's reconfiguration: leave it empty
+        with a status the client can observe (REG_TASKID reads
+        :data:`TASKID_RECONFIG_FAILED` until the next reconfiguration)."""
+        prr = self.prrs[prr_id]
+        prr.reconfiguring = False
+        prr.core = None
+        prr.status = PrrStatus.ERR_RECONFIG

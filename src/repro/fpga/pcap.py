@@ -6,17 +6,26 @@ size / throughput.  Completion raises the DevC "DONE" interrupt
 (IRQ_PCAP_DONE), which Mini-NOVA routes to the VM that launched the
 transfer (Section IV-D) — or which the guest may poll instead
 (Section IV-E stage 6 gives both options).
+
+Failure handling (docs/FAULTS.md): when a fault injector is attached the
+port can see CRC/DMA errors, corrupted bitstreams, and hangs.  Each
+attempt is guarded by a timeout; a failed attempt is retried with
+exponential backoff up to ``max_retries`` times, then the port gives up
+and aborts the reconfiguration — the target PRR lands in ERR_RECONFIG so
+the client observes a VM-visible error instead of waiting forever.
+Without an injector the happy path is cycle-identical to the unhardened
+model (no timeout events are ever scheduled).
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
-from ..common.errors import ConfigError
+from ..common.errors import DeviceBusy
 from ..common.params import FpgaParams
 from ..gic.gic import Gic
 from ..gic.irqs import IRQ_PCAP_DONE
-from ..sim.engine import Simulator
+from ..sim.engine import EventHandle, Simulator
 from .bitstream import Bitstream
 from .controller import PrrController
 
@@ -47,9 +56,26 @@ class Pcap:
         #: Hook: called (prr_id, task_name) when a reconfiguration lands.
         self.on_done: Callable[[int, str], None] | None = None
         self._regs = {"src": 0, "len": 0, "target": 0}
+        #: Fault injector attachment point; None = happy path only.
+        self.faults = None
+        #: Failed attempts are retried this many times before giving up.
+        self.max_retries = 2
+        #: First retry waits this long; each further retry doubles it.
+        self.retry_backoff_cycles = 1_000
+        #: Per-attempt timeout = expected latency x factor + slack.
+        self.timeout_factor = 3
+        self.timeout_slack = 1_000
+        # In-flight transfer state (valid while ``busy``).
+        self._xfer_bitstream: Bitstream | None = None
+        self._xfer_prr = 0
+        self._xfer_task = ""
+        self._xfer_attempt = 0
+        self._xfer_corrupt = False
+        self._timeout_ev: EventHandle | None = None
         # Observability (attached by the kernel / native system at boot):
         # pcap_xfer_start/_end span + transfer counters, docs/OBSERVABILITY.md.
         self._tracer = None
+        self._metrics = None
         self._m_transfers = None
         self._m_bytes = None
         self._m_xfer_cycles = None
@@ -57,10 +83,16 @@ class Pcap:
     def attach_obs(self, tracer=None, metrics=None) -> None:
         """Wire this port into an observability layer (idempotent)."""
         self._tracer = tracer
+        self._metrics = metrics
         if metrics is not None:
             self._m_transfers = metrics.counter("pcap.transfers")
             self._m_bytes = metrics.counter("pcap.bytes_moved")
             self._m_xfer_cycles = metrics.histogram("pcap.xfer_cycles")
+            # Failure/recovery counters, zero-valued until a fault plan
+            # actually injects something (docs/FAULTS.md).
+            metrics.counter("pcap.errors")
+            metrics.counter("recovery.pcap_retries")
+            metrics.counter("recovery.pcap_giveups")
 
     # -- direct API (used by the Hardware Task Manager) --------------------
 
@@ -72,14 +104,26 @@ class Pcap:
                        core_name: str | None = None) -> int:
         """Begin a reconfiguration; returns expected latency in CPU cycles.
 
-        Raises :class:`ConfigError` if a transfer is already in flight
+        Raises :class:`DeviceBusy` if a transfer is already in flight
         (the caller — the manager — serializes PCAP use).
         """
         if self.busy:
-            raise ConfigError("PCAP transfer already in progress")
-        task = core_name or bitstream.task
+            raise DeviceBusy("PCAP transfer already in progress")
         self.busy = True
         self.done_flag = False
+        self._xfer_bitstream = bitstream
+        self._xfer_prr = prr_id
+        self._xfer_task = core_name or bitstream.task
+        self._xfer_attempt = 0
+        return self._launch()
+
+    def _launch(self) -> int:
+        """One transfer attempt (the whole bitstream streams every time)."""
+        bitstream, prr_id, task = (self._xfer_bitstream, self._xfer_prr,
+                                   self._xfer_task)
+        assert bitstream is not None
+        self._xfer_attempt += 1
+        self._xfer_corrupt = False
         self.transfers += 1
         self.bytes_moved += bitstream.size
         self.controller.begin_reconfig(prr_id)
@@ -91,22 +135,90 @@ class Pcap:
             self._m_transfers.inc()
             self._m_bytes.inc(bitstream.size)
             self._m_xfer_cycles.observe(delay)
-        self.sim.schedule(delay, self._complete, prr_id, task,
-                          label=f"pcap-{task}->prr{prr_id}")
+        completion = self.sim.schedule(delay, self._complete, prr_id, task,
+                                       label=f"pcap-{task}->prr{prr_id}")
+        if self.faults is not None:
+            timeout = delay * self.timeout_factor + self.timeout_slack
+            if self.faults.fire("bitstream.corrupt", prr=prr_id, task=task):
+                # The stream lands but fails its checksum at completion.
+                self._xfer_corrupt = True
+            if self.faults.fire("pcap.hang", prr=prr_id, task=task):
+                # The DMA stalls: push completion past the timeout so the
+                # watchdog path (not the DONE path) resolves this attempt.
+                completion = self.sim.defer(completion, timeout)
+            self._timeout_ev = self.sim.schedule(
+                timeout, self._timeout_fire, completion,
+                label=f"pcap-timeout-prr{prr_id}")
         return delay
+
+    def _disarm_timeout(self) -> None:
+        if self._timeout_ev is not None:
+            self._timeout_ev.cancel()
+            self._timeout_ev = None
+
+    def _timeout_fire(self, completion: EventHandle) -> None:
+        self._timeout_ev = None
+        if not self.busy or not completion.pending:
+            return
+        completion.cancel()
+        self._fail("timeout")
 
     def _complete(self, prr_id: int, task: str) -> None:
         from .ip import make_core
+        self._disarm_timeout()
+        if self._xfer_corrupt:
+            self._fail("crc")
+            return
+        if self.faults is not None and self.faults.fire(
+                "pcap.transfer_error", prr=prr_id, task=task):
+            self._fail("dma")
+            return
         self.controller.finish_reconfig(prr_id, make_core(task))
         self.busy = False
-        self.done_flag = True
+        self._xfer_bitstream = None
         if self._tracer is not None:
             self._tracer.mark("pcap_xfer_end", cat="pcap", prr=prr_id,
                               task=task)
+        self.done_flag = True
         if self.int_en:
             self.gic.assert_irq(IRQ_PCAP_DONE)
         if self.on_done is not None:
             self.on_done(prr_id, task)
+
+    def _fail(self, reason: str) -> None:
+        """One attempt failed: retry with backoff or give up for good."""
+        prr_id, task, attempt = self._xfer_prr, self._xfer_task, \
+            self._xfer_attempt
+        if self._tracer is not None:
+            self._tracer.mark("pcap_xfer_error", cat="fault", prr=prr_id,
+                              task=task, reason=reason, attempt=attempt)
+        if self._metrics is not None:
+            self._metrics.counter("pcap.errors", reason=reason).inc()
+        if attempt <= self.max_retries:
+            backoff = self.retry_backoff_cycles * (1 << (attempt - 1))
+            if self._metrics is not None:
+                self._metrics.counter("recovery.pcap_retries").inc()
+            if self._tracer is not None:
+                self._tracer.mark("pcap_retry", cat="fault", prr=prr_id,
+                                  task=task, attempt=attempt,
+                                  backoff=backoff)
+            self.sim.schedule(backoff, self._launch,
+                              label=f"pcap-retry-{task}->prr{prr_id}")
+            return
+        # Out of retries: abort the reconfiguration.  The PRR lands in
+        # ERR_RECONFIG (REG_TASKID reads all-ones), the DONE flag/IRQ still
+        # fire so a waiting client wakes up and observes the error.
+        if self._metrics is not None:
+            self._metrics.counter("recovery.pcap_giveups").inc()
+        if self._tracer is not None:
+            self._tracer.mark("pcap_giveup", cat="fault", prr=prr_id,
+                              task=task, attempts=attempt)
+        self.controller.abort_reconfig(prr_id)
+        self.busy = False
+        self._xfer_bitstream = None
+        self.done_flag = True
+        if self.int_en:
+            self.gic.assert_irq(IRQ_PCAP_DONE)
 
     # -- MMIO ----------------------------------------------------------------
 

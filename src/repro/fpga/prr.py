@@ -21,6 +21,7 @@ class PrrStatus(IntEnum):
     DONE = 2
     ERR_BOUNDS = 3      # hwMMU blocked the transfer
     ERR_NOTASK = 4      # start with no / reconfiguring task
+    ERR_RECONFIG = 5    # reconfiguration aborted (PCAP gave up)
 
 #: Register offsets within a PRR's 4 KB register-group page.
 REG_CTRL = 0x00
@@ -74,6 +75,10 @@ class Prr:
     runs: int = 0
     violations: int = 0
     reconfig_count: int = 0
+    #: Cycle the current computation started (for watchdog latency math).
+    busy_since: int = 0
+    #: Hung computations detected by the controller watchdog.
+    hangs: int = 0
 
     def can_host(self, core: IpCore) -> bool:
         return core.resources.fits_in(self.capacity)

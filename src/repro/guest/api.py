@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator
 
-from ..fpga.controller import task_id_of
+from ..fpga.controller import TASKID_RECONFIG_FAILED, task_id_of
 from ..fpga.prr import (
     CTRL_START,
     PrrStatus,
@@ -41,6 +41,10 @@ from .actions import (
     SemPend,
 )
 from .ucos import Semaphore, Ucos
+
+#: Sentinel returned by :func:`_wait_taskid` when the PRR reports that the
+#: reconfiguration was aborted (PCAP retries exhausted, docs/FAULTS.md).
+RECONFIG_FAILED = object()
 
 #: Offset of the input staging area in the data section (the first 64 bytes
 #: hold the consistency record, Section IV-C).
@@ -97,6 +101,10 @@ def hw_task_run(os: Ucos, task_table_id: int, task_name: str,
         if ok is FAULTED:
             handle.retries += 1
             continue
+        if ok is RECONFIG_FAILED:
+            # PCAP exhausted its retries: VM-visible error, not a hang.
+            handle.status = HcStatus.ERR_STATE
+            return handle
         if not ok:
             handle.retries += 1
             yield Delay(1)
@@ -122,13 +130,18 @@ def hw_task_run(os: Ucos, task_table_id: int, task_name: str,
 
 
 def _wait_taskid(iface: int, expected_id: int, *, max_ticks: int = 4000):
-    """Poll REG_TASKID until the target bitstream is resident."""
+    """Poll REG_TASKID until the target bitstream is resident.
+
+    Returns :data:`RECONFIG_FAILED` when the register reads all-ones —
+    the controller's way of reporting an aborted reconfiguration."""
     for _ in range(max_ticks):
         v = yield MmioRead(iface + REG_TASKID)
         if v is FAULTED:
             return FAULTED
         if v == expected_id:
             return True
+        if v == TASKID_RECONFIG_FAILED:
+            return RECONFIG_FAILED
         yield Delay(1)
     return False
 
@@ -155,10 +168,17 @@ def _program_and_wait(os: Ucos, iface: int, data_in: bytes, *,
         return FAULTED
 
     if use_irq:
-        yield SemPend(sem, timeout_ticks=max_ticks)
-        status = yield MmioRead(iface + REG_STATUS)
-        if status is FAULTED:
-            return FAULTED
+        status = int(PrrStatus.BUSY)
+        for _ in range(4):
+            # Bounded re-pend loop: a *spurious* DONE IRQ (fault injection,
+            # or a shared line) wakes us while the task is still BUSY — a
+            # correct client re-waits instead of reading garbage.
+            yield SemPend(sem, timeout_ticks=max_ticks)
+            status = yield MmioRead(iface + REG_STATUS)
+            if status is FAULTED:
+                return FAULTED
+            if status != int(PrrStatus.BUSY):
+                break
     else:
         status = int(PrrStatus.BUSY)
         for _ in range(max_ticks):
@@ -202,6 +222,16 @@ def hw_data_flag(os: Ucos) -> Generator:
     return int.from_bytes(raw[:4], "little")
 
 
+def _note_sw_fallback(os: Ucos, kind: str) -> None:
+    """Book a hardware->software degradation in the kernel's obs layer
+    (no-op in the native port, which runs without a kernel)."""
+    kernel = getattr(getattr(os, "port", None), "kernel", None)
+    if kernel is None:
+        return
+    kernel.metrics.counter("recovery.sw_fallbacks").inc()
+    kernel.tracer.mark("sw_fallback", cat="fault", kind=kind)
+
+
 def fft_compute(os: Ucos, task_table_id: int, task_name: str,
                 data_in: bytes, *, sem: Semaphore | None = None,
                 allow_software: bool = True,
@@ -227,6 +257,7 @@ def fft_compute(os: Ucos, task_table_id: int, task_name: str,
     if handle.status == HcStatus.SUCCESS or not allow_software:
         return handle
 
+    _note_sw_fallback(os, "fft")
     n = int(task_name[3:])
     prof = fft_sw_profile(n)
     yield Compute(prof.instrs, prof.mem_accesses,
@@ -236,4 +267,38 @@ def fft_compute(os: Ucos, task_table_id: int, task_name: str,
     handle.status = HcStatus.SUCCESS
     handle.prr_id = None
     handle.output = fft_golden.fft(x).tobytes()
+    return handle
+
+
+def qam_compute(os: Ucos, task_table_id: int, task_name: str,
+                data_in: bytes, *, sem: Semaphore | None = None,
+                allow_software: bool = True,
+                hw_retries: int = 2) -> Generator:
+    """Adaptive QAM modulation: fabric first, CPU fallback on HW failure.
+
+    The software path is bit-compatible with the ``qamN`` IP core (both
+    share the :mod:`repro.dsp.qam` golden model); its CPU cost is charged
+    through :func:`repro.workloads.profiles.qam_sw_profile`.  ``prr_id``
+    is None on the software path, as for :func:`fft_compute`.
+    """
+    from ..dsp import qam as qam_golden
+    from ..workloads.profiles import qam_sw_profile
+    from . import layout_guest as GL
+    from .actions import Compute
+
+    handle = yield from hw_task_run(os, task_table_id, task_name, data_in,
+                                    sem=sem, max_retries=hw_retries)
+    if handle.status == HcStatus.SUCCESS or not allow_software:
+        return handle
+
+    _note_sw_fallback(os, "qam")
+    order = int(task_name[3:])
+    prof = qam_sw_profile(order, len(data_in))
+    yield Compute(prof.instrs, prof.mem_accesses,
+                  ((GL.USER_BASE + 0x20000, prof.ws_bytes),),
+                  prof.write_frac)
+    symbols = qam_golden.pack_bits_to_symbols(data_in, order)
+    handle.status = HcStatus.SUCCESS
+    handle.prr_id = None
+    handle.output = qam_golden.modulate(symbols, order).tobytes()
     return handle

@@ -83,6 +83,7 @@ from ..fpga.controller import (  # noqa: E402  (kept close to use)
     CTL_HWMMU_BASE,
     CTL_HWMMU_LIMIT,
     CTL_IRQ_LINE,
+    CTL_KILL,
 )
 
 
@@ -98,7 +99,7 @@ class Allocator:
         #: PL IRQ lines in use: line -> prr_id.
         self.irq_lines: dict[int, int] = {}
         self.stats = {"success": 0, "reconfig": 0, "busy": 0,
-                      "reclaims": 0, "errors": 0}
+                      "reclaims": 0, "errors": 0, "watchdog_reclaims": 0}
 
     # -- helpers ------------------------------------------------------------
 
@@ -234,6 +235,44 @@ class Allocator:
         irq_id = pl_irq(line)
         self.port.register_irq(client_vm, irq_id)
         return irq_id
+
+    # -- watchdog recovery -------------------------------------------------------
+
+    def force_reclaim(self, prr_id: int) -> int | None:
+        """Take a *hung* PRR back to the free pool (watchdog recovery).
+
+        Runs the same consistency protocol as a normal reclaim (stage 3a
+        of Fig. 7): register snapshot + 'inconsistent' state flag into the
+        old client's data section, demap its register-group page, then —
+        unlike a normal reclaim — kill the wedged core outright
+        (CTL_KILL), because its state cannot be trusted.  The region ends
+        unowned and empty; the old client discovers the loss through its
+        state flag / unmapped interface and re-requests the task.
+        Returns the old client's VM id (None if the region was unowned).
+        """
+        port = self.port
+        prr = self.prrs[prr_id]
+        row = self.prr_table.row(prr_id)
+        old = prr.client_vm
+        port.code(0x500, MC.reclaim_save_regs)
+        if old is not None:
+            port.reg_group_save(old, prr)
+            if port.iface_va_of(old, prr_id) is not None:
+                port.unmap_iface(old, prr_id)
+            if prr.irq_line is not None:
+                from ..gic.irqs import pl_irq
+                port.unregister_irq(old, pl_irq(prr.irq_line))
+        port.ctl_write(prr_id, CTL_KILL, 1)
+        port.ctl_write(prr_id, CTL_CLIENT, 0xFFFF_FFFF)
+        port.ctl_write(prr_id, CTL_HWMMU_BASE, 0)
+        port.ctl_write(prr_id, CTL_HWMMU_LIMIT, 0)
+        row.client_vm = None
+        row.task_name = None
+        row.hangs += 1
+        port.touch(row.row_addr, write=True)
+        self.stats["watchdog_reclaims"] += 1
+        port.code(0xA00, MC.status_return)
+        return old
 
     # -- release ----------------------------------------------------------------
 

@@ -114,6 +114,19 @@ class ManagerService:
                 if irq is not None:
                     return (HcStatus.SUCCESS, row.prr_id, irq)
             return (HcStatus.ERR_STATE, None, None)
+        if req.kind == "watchdog":
+            # Kernel-originated (no requester to resume): the controller's
+            # watchdog flagged PRR ``task_id`` as hung — force-reclaim it.
+            prr_id = req.task_id
+            hung_since = alloc.prrs[prr_id].busy_since
+            old = alloc.force_reclaim(prr_id)
+            k = self.kernel
+            k.metrics.counter("recovery.watchdog_reclaims").inc()
+            k.metrics.histogram("recovery.latency_cycles").observe(
+                k.sim.now - hung_since)
+            k.tracer.mark("watchdog_reclaim", cat="fault", prr=prr_id,
+                          vm=old if old is not None else 0)
+            return (HcStatus.SUCCESS, prr_id, None)
         raise ConfigError(f"unknown manager request kind {req.kind!r}")
 
     # -- ManagerPort (timed environment hooks) -------------------------------------

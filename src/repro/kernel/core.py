@@ -22,6 +22,8 @@ from ..common.errors import (
     ConfigError,
     GuestPanic,
     HypercallError,
+    ReproError,
+    SimulationError,
     UndefinedInstruction,
 )
 from ..common.units import ms_to_cycles
@@ -82,9 +84,10 @@ class KernelConfig:
 class _HwRequest:
     """Mailbox record for the Hardware Task Manager."""
 
-    kind: str                     # "request" | "release" | "irq_attach"
+    kind: str                # "request" | "release" | "irq_attach" | "watchdog"
     pd: ProtectionDomain
-    exit_: ExitHypercall
+    #: None for kernel-originated requests (watchdog): nothing to resume.
+    exit_: ExitHypercall | None
     task_id: int = 0
     iface_va: int = 0
     data_va: int = 0
@@ -159,6 +162,18 @@ class MiniNova:
         # observability layer (PCAP reconfigurations, sim event counts).
         self.machine.pcap.attach_obs(tracer=self.tracer, metrics=self.metrics)
         self.sim.attach_metrics(self.metrics)
+        # Hung-task watchdog recovery goes through the manager service.
+        self.machine.prr_controller.on_hang = self._on_prr_hang
+        # Failure/recovery counters, registered up front so the BENCH
+        # artifacts carry them zero-valued on fault-free runs
+        # (docs/FAULTS.md; the pcap.* ones register in attach_obs above).
+        self.metrics.counter("fault.injected")
+        self.metrics.counter("kernel.vm_kills")
+        self.metrics.counter("kernel.hypercall_faults")
+        self.metrics.counter("kernel.plirq_spurious")
+        self.metrics.counter("recovery.watchdog_reclaims")
+        self.metrics.counter("recovery.sw_fallbacks")
+        self.metrics.histogram("recovery.latency_cycles")
         # Accounting starts at boot time: every later cycle is attributed
         # to a context (kernel / guest / idle) until the books are read.
         self.acct.bind(self.sim.clock)
@@ -467,6 +482,9 @@ class MiniNova:
             else:
                 target.vcpu.vregs["_pending_pl_seq"] = seq
         else:
+            # Unsolicited PL IRQ (no owning client): dropped at the router,
+            # so an IRQ storm on an unowned line never reaches any VM.
+            self.metrics.counter("kernel.plirq_spurious").inc()
             self.tracer.mark("plirq_route_end", cat="vgic", seq=seq, vm=0)
 
     def _timer_fired(self) -> None:
@@ -575,11 +593,21 @@ class MiniNova:
         cpu.return_from_exception()
         handler = getattr(pd.runner, "deliver_fault", None)
         if handler is None:
-            self.sched.remove(pd)
-            if self.current is pd:
-                self.current = None
-            raise GuestPanic(f"VM {pd.name} unhandled fault: {fault}")
+            # Containment: the misbehaving VM dies; the host and every
+            # other VM keep running (never a host traceback).
+            self.kill_vm(pd, reason="unhandled_fault")
+            return
         handler(fault)
+
+    def kill_vm(self, pd: ProtectionDomain, *, reason: str) -> None:
+        """Terminate a misbehaving VM for good (state -> DEAD)."""
+        self.sched.remove(pd)
+        if self.current is pd:
+            self.current = None
+            self.machine.private_timer.cancel()
+        self.metrics.counter("kernel.vm_kills").inc()
+        self.tracer.mark("vm_killed", cat="fault", vm=pd.vm_id,
+                         reason=reason)
 
     def _vfp_lazy_switch(self, pd: ProtectionDomain) -> None:
         """UND trap from a disabled VFP: move banks now (Table I, lazy)."""
@@ -657,7 +685,19 @@ class MiniNova:
         cpu.load(L.kva(pd.kobj_addr))    # PD capability/portal lookup
         cpu.code(syms.handler(int(num)), 8)    # handler prologue fetch
 
-        deferred = self._dispatch_hypercall(pd, num, exit_)
+        try:
+            deferred = self._dispatch_hypercall(pd, num, exit_)
+        except SimulationError:
+            raise                         # engine corruption: not a guest bug
+        except ReproError:
+            # Safety net: a malformed argument that slipped past explicit
+            # validation becomes an error status in r0 — a guest can never
+            # surface a host traceback through the hypercall interface.
+            self.metrics.counter("kernel.hypercall_faults").inc()
+            self.tracer.mark("hypercall_rejected", cat="fault",
+                             vm=pd.vm_id, hc=int(num))
+            exit_.result = HcStatus.ERR_ARG
+            deferred = False
 
         if not deferred:
             cpu.code(syms.exc_return, C.exc_return_path)
@@ -717,15 +757,22 @@ class MiniNova:
                 exit_.result = HcStatus.SUCCESS
         elif num is Hc.IRQ_EOI:
             cpu.instr(C.vgic_eoi)
-            cpu.store(L.kva(pd.kobj_addr + 0x100 + 4 * arg(0)))
-            exit_.result = HcStatus.SUCCESS
+            irq = arg(0)
+            if not 0 <= irq < self.machine.gic.n_irqs:
+                exit_.result = HcStatus.ERR_ARG
+            else:
+                cpu.store(L.kva(pd.kobj_addr + 0x100 + 4 * irq))
+                exit_.result = HcStatus.SUCCESS
         elif num is Hc.VIRQ_REGISTER:
             cpu.instr(C.small_hypercall)
-            pd.vgic.irq_entry_va = arg(0)
-            if len(a) > 1:
-                pd.vgic.register(arg(1))
-            cpu.store(L.kva(pd.kobj_addr + 0x08))
-            exit_.result = HcStatus.SUCCESS
+            if len(a) > 1 and not 0 <= arg(1) < self.machine.gic.n_irqs:
+                exit_.result = HcStatus.ERR_ARG
+            else:
+                pd.vgic.irq_entry_va = arg(0)
+                if len(a) > 1:
+                    pd.vgic.register(arg(1))
+                cpu.store(L.kva(pd.kobj_addr + 0x08))
+                exit_.result = HcStatus.SUCCESS
         elif num is Hc.MAP_INSERT:
             exit_.result = self._hc_map_insert(pd, arg(0), arg(1), arg(2, 1))
         elif num is Hc.MAP_REMOVE:
@@ -764,12 +811,15 @@ class MiniNova:
             exit_.result = HcStatus.SUCCESS
         elif num is Hc.TIMER_SET:
             cpu.instr(C.timer_reprogram)
-            vt = pd.vcpu.vtimer
-            vt.period = arg(0)
-            vt.remaining = arg(0)
-            if pd is self.current:
-                self._program_timer(pd)
-            exit_.result = HcStatus.SUCCESS
+            if arg(0) < 0:
+                exit_.result = HcStatus.ERR_ARG
+            else:
+                vt = pd.vcpu.vtimer
+                vt.period = arg(0)
+                vt.remaining = arg(0)
+                if pd is self.current:
+                    self._program_timer(pd)
+                exit_.result = HcStatus.SUCCESS
         elif num is Hc.TIMER_READ:
             cpu.instr(C.small_hypercall)
             exit_.result = pd.vcpu.vtimer.remaining
@@ -808,7 +858,9 @@ class MiniNova:
                        n_pages: int) -> HcStatus:
         """Guest maps extra 4K pages of *its own* chunk at a chosen VA."""
         cpu = self.cpu
-        if va & 0xFFF or pa_off & 0xFFF:
+        if va & 0xFFF or pa_off & 0xFFF or va < 0 or pa_off < 0:
+            return HcStatus.ERR_ARG
+        if not 0 < n_pages <= pd.phys_size // 4096:
             return HcStatus.ERR_ARG
         pa = pd.phys_base + pa_off
         if not pd.owns_phys(pa, pa + n_pages * 4096):
@@ -854,6 +906,8 @@ class MiniNova:
                           size: int) -> "HcStatus | int":
         cpu = self.cpu
         cpu.instr(C.small_hypercall)
+        if size <= 0:
+            return HcStatus.ERR_ARG
         if not (L.GUEST_HWDATA_VA <= va
                 and va + size <= L.GUEST_HWDATA_VA + L.GUEST_HWDATA_SIZE):
             return HcStatus.ERR_ARG
@@ -881,7 +935,8 @@ class MiniNova:
         a = exit_.args
         cpu.code(self.syms.hwreq_glue, C.hwreq_validate)
         if num is Hc.HWTASK_REQUEST:
-            if len(a) < 3 or not pd.hw_data.configured or a[1] & 0xFFF:
+            if (len(a) < 3 or not pd.hw_data.configured or a[1] & 0xFFF
+                    or a[1] < 0 or a[2] < 0):
                 exit_.result = HcStatus.ERR_ARG
                 return False
             req = _HwRequest("request", pd, exit_, task_id=a[0],
@@ -1005,6 +1060,24 @@ class MiniNova:
 
     # ------------------------------------------------- manager service glue
 
+    def _on_prr_hang(self, prr_id: int) -> None:
+        """Controller watchdog expired: queue a reclaim for the manager.
+
+        Kernel-originated request (``exit_`` is None — nobody is parked
+        waiting for the result); the manager preempts guests, runs the
+        consistency protocol, and returns the region to the free pool.
+        """
+        self.tracer.mark("watchdog_expire", cat="fault", prr=prr_id)
+        if self.manager_pd is None:
+            return
+        client_vm = self.machine.prrs[prr_id].client_vm
+        pd = self.domains.get(client_vm) if client_vm is not None else None
+        self.manager_queue.append(_HwRequest(
+            "watchdog", pd if pd is not None else self.manager_pd, None,
+            task_id=prr_id))
+        self.sched.resume(self.manager_pd,
+                          front=self.config.service_resume_front)
+
     def manager_take_request(self) -> _HwRequest | None:
         """Called by the manager runner to pop its mailbox."""
         return self.manager_queue.pop(0) if self.manager_queue else None
@@ -1015,6 +1088,8 @@ class MiniNova:
         ``result`` is the (status, prr_id, irq_id) triple the guest API
         expects in r0-r2.
         """
+        if req.exit_ is None:
+            return        # kernel-originated (watchdog): nobody to resume
         req.exit_.result = result
         req.pd.vcpu.vregs["_deferred_exit"] = req.exit_
         self.sched.resume(req.pd, front=True)   # unpark the requester

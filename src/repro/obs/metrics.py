@@ -181,6 +181,11 @@ class MetricsRegistry:
 
     # -- introspection / export ---------------------------------------------
 
+    def total(self, name: str) -> int:
+        """Sum a counter across every label set (0 if never registered)."""
+        return sum(c.value for (n, _), c in self._counters.items()
+                   if n == name)
+
     def counters(self) -> list[Counter]:
         return [self._counters[k] for k in sorted(self._counters, key=str)]
 

@@ -14,7 +14,8 @@ original unbounded event list this tracer adds:
   emits the paired ``mgr_exec_start`` / ``mgr_exec_end`` events the eval
   protocol is written in terms of;
 * **per-event categories** (``sched``, ``vgic``, ``hypercall``, ``hwmgr``,
-  ``pcap``, ``sim``) so exporters and queries can slice by subsystem;
+  ``pcap``, ``sim``, ``fault``) so exporters and queries can slice by
+  subsystem;
 * **nesting-safe interval pairing** — :meth:`Tracer.intervals` keeps a
   *stack* per key, so nested same-key spans pair inside-out instead of the
   outer start being silently overwritten (a bug in the original tracer);
@@ -32,7 +33,8 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Sequence
 
 #: Recognized event categories (see docs/OBSERVABILITY.md).
-CATEGORIES = ("sched", "vgic", "hypercall", "hwmgr", "pcap", "sim", "misc")
+CATEGORIES = ("sched", "vgic", "hypercall", "hwmgr", "pcap", "sim", "fault",
+              "misc")
 
 #: Default ring capacity: generous for every bundled scenario (a full
 #: Table III sweep emits well under this many events) while bounding a

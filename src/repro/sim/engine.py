@@ -124,6 +124,20 @@ class Simulator:
             self._m_scheduled.inc()
         return handle
 
+    def defer(self, handle: EventHandle, extra: int) -> EventHandle:
+        """Reschedule a pending event ``extra`` cycles later.
+
+        Cancels ``handle`` and returns a fresh handle for the same
+        ``fn(*args)`` at ``max(handle.time + extra, now)``.  Used by fault
+        injection to model stalls (e.g. a hung PCAP transfer) without the
+        device code knowing how its completion was delayed.
+        """
+        if not handle.pending:
+            raise SimulationError(f"cannot defer non-pending event {handle!r}")
+        handle.cancel()
+        t = max(handle.time + extra, self.clock.now)
+        return self.schedule_at(t, handle.fn, *handle.args, label=handle.label)
+
     # -- dispatching ---------------------------------------------------
 
     def _pop_due(self, t: int) -> EventHandle | None:

@@ -42,6 +42,19 @@ FFT_SW_1K = WorkProfile("fft-sw-1k", instrs=5 * 1024 * 10, mem_accesses=4 * 5 * 
                         ws_bytes=48 * 1024, write_frac=0.5)
 
 
+def qam_sw_profile(order: int, n_bytes: int) -> WorkProfile:
+    """Software QAM modulator profile: bit-slice + table lookup per symbol
+    (~6 instructions, 2 accesses each) over ``n_bytes`` of input."""
+    if order < 4 or order & (order - 1):
+        raise ValueError(f"QAM order {order} is not a power of two >= 4")
+    bps = order.bit_length() - 1
+    symbols = max(1, (n_bytes * 8) // bps)
+    return WorkProfile(f"qam-sw-{order}", instrs=symbols * 6,
+                       mem_accesses=symbols * 2,
+                       ws_bytes=min(128 * 1024, symbols * 8 + 8 * 1024),
+                       write_frac=0.5)
+
+
 def fft_sw_profile(n: int) -> WorkProfile:
     """Software FFT profile for an N-point transform: ~10 instructions and
     4 accesses per butterfly, (N/2)log2(N) butterflies."""

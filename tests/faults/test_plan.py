@@ -1,0 +1,111 @@
+"""FaultPlan / FaultSpec: gating semantics and determinism."""
+
+import pytest
+
+from repro.faults.plan import (
+    ALL_SITES,
+    BITSTREAM_CORRUPT,
+    FaultPlan,
+    FaultSpec,
+    PCAP_TRANSFER_ERROR,
+    PRR_HANG,
+    UNLIMITED,
+)
+
+
+def fires_of(plan, site, n):
+    return [plan.should_fire(site) is not None for _ in range(n)]
+
+
+def test_unknown_site_rejected():
+    with pytest.raises(ValueError):
+        FaultSpec("pcap.nonsense")
+
+
+def test_bad_gating_rejected():
+    with pytest.raises(ValueError):
+        FaultSpec(PRR_HANG, every=0)
+    with pytest.raises(ValueError):
+        FaultSpec(PRR_HANG, probability=1.5)
+
+
+def test_duplicate_site_rejected():
+    with pytest.raises(ValueError):
+        FaultPlan([FaultSpec(PRR_HANG), FaultSpec(PRR_HANG)])
+
+
+def test_unarmed_site_never_fires():
+    plan = FaultPlan([FaultSpec(PRR_HANG)])
+    assert plan.should_fire(PCAP_TRANSFER_ERROR) is None
+    assert plan.fires(PCAP_TRANSFER_ERROR) == 0
+
+
+def test_default_fires_once():
+    plan = FaultPlan([FaultSpec(PRR_HANG)])
+    assert fires_of(plan, PRR_HANG, 5) == [True, False, False, False, False]
+    assert plan.fires(PRR_HANG) == 1
+
+
+def test_after_skips_leading_occurrences():
+    plan = FaultPlan([FaultSpec(PRR_HANG, after=2)])
+    assert fires_of(plan, PRR_HANG, 5) == [False, False, True, False, False]
+
+
+def test_every_strides():
+    plan = FaultPlan([FaultSpec(PRR_HANG, every=3, max_fires=UNLIMITED)])
+    assert fires_of(plan, PRR_HANG, 7) == [True, False, False, True,
+                                           False, False, True]
+
+
+def test_max_fires_caps():
+    plan = FaultPlan([FaultSpec(PRR_HANG, max_fires=2)])
+    assert fires_of(plan, PRR_HANG, 5) == [True, True, False, False, False]
+
+
+def test_unlimited_keeps_firing():
+    plan = FaultPlan([FaultSpec(PRR_HANG, max_fires=UNLIMITED)])
+    assert all(fires_of(plan, PRR_HANG, 20))
+
+
+def test_probability_deterministic_per_seed():
+    mk = lambda: FaultPlan([FaultSpec(BITSTREAM_CORRUPT, probability=0.5,
+                                      max_fires=UNLIMITED)], seed=42)
+    a = fires_of(mk(), BITSTREAM_CORRUPT, 50)
+    b = fires_of(mk(), BITSTREAM_CORRUPT, 50)
+    assert a == b
+    assert any(a) and not all(a)        # actually probabilistic
+    other = fires_of(
+        FaultPlan([FaultSpec(BITSTREAM_CORRUPT, probability=0.5,
+                             max_fires=UNLIMITED)], seed=43),
+        BITSTREAM_CORRUPT, 50)
+    assert other != a                   # seed matters
+
+
+def test_probability_stream_isolated_between_sites():
+    """Draws at one site never shift another site's stream."""
+    def mk():
+        return FaultPlan([
+            FaultSpec(BITSTREAM_CORRUPT, probability=0.5,
+                      max_fires=UNLIMITED),
+            FaultSpec(PCAP_TRANSFER_ERROR, probability=0.5,
+                      max_fires=UNLIMITED),
+        ], seed=7)
+    a = mk()
+    b = mk()
+    for _ in range(20):                 # extra draws on another site in a
+        a.should_fire(PCAP_TRANSFER_ERROR)
+    assert (fires_of(a, BITSTREAM_CORRUPT, 30)
+            == fires_of(b, BITSTREAM_CORRUPT, 30))
+
+
+def test_summary_counts():
+    plan = FaultPlan([FaultSpec(PRR_HANG, max_fires=1)])
+    for _ in range(4):
+        plan.should_fire(PRR_HANG)
+    assert plan.summary() == {PRR_HANG: {"occurrences": 4, "fires": 1}}
+
+
+def test_all_sites_accepted():
+    plan = FaultPlan([FaultSpec(s) for s in ALL_SITES])
+    for s in ALL_SITES:
+        assert plan.spec_for(s) is not None

@@ -1,0 +1,49 @@
+"""The fault matrix end-to-end: every scenario passes its own checks, and
+the whole suite is deterministic (same seed → byte-identical JSON).
+
+These are the four headline recovery paths of docs/FAULTS.md plus the
+rogue-guest containment scenarios, run exactly the way the CI
+``fault-matrix`` job runs them (``python -m repro faults``).
+"""
+
+import json
+
+import pytest
+
+from repro.faults.matrix import SCENARIOS, run_all, run_scenario
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_passes_own_checks(name):
+    r = run_scenario(name, seed=1)
+    failed = [k for k, v in r["checks"].items() if not v]
+    assert r["ok"], (f"{name}: failed checks {failed}; "
+                     f"counters={r['counters']}")
+    # Every scenario actually injected something.
+    assert r["counters"]["fault_injected"] >= 1
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(KeyError):
+        run_scenario("no-such-scenario")
+
+
+def test_scenario_deterministic_same_seed():
+    a = run_scenario("pcap-retry", seed=9)
+    b = run_scenario("pcap-retry", seed=9)
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+def test_scenario_seed_changes_trace():
+    """Different seeds change at least the recorded seed/cycle budget —
+    runs are reproducible per seed, not globally identical."""
+    a = run_scenario("pcap-retry", seed=1)
+    b = run_scenario("pcap-retry", seed=2)
+    assert a["seed"] != b["seed"]
+    assert a["ok"] and b["ok"]
+
+
+def test_run_all_aggregates():
+    payload = run_all(seed=1)
+    assert set(payload["scenarios"]) == set(SCENARIOS)
+    assert payload["ok"]

@@ -1,0 +1,161 @@
+"""`MiniNova._handle_fault`: the three outcomes of a guest fault.
+
+1. UND trap with "VFP" in the description → lazy VFP bank switch (the VM
+   keeps running, Table I's lazy-switch accounting fires);
+2. any other fault on a VM *with* a ``deliver_fault`` handler → forwarded
+   exactly once, VM keeps running;
+3. any other fault on a VM *without* a handler → containment: that VM is
+   killed, the host never sees an exception, other VMs are unaffected.
+"""
+
+import pytest
+
+from repro.common.errors import DataAbort, UndefinedInstruction
+from repro.common.units import ms_to_cycles
+from repro.kernel.core import KernelConfig, MiniNova
+from repro.kernel.exits import ExitFault
+from repro.kernel.pd import PdState
+
+
+class StubRunner:
+    """Minimal runner: programmable fault queue, optional fault handler."""
+
+    def __init__(self, *, handles_faults=False):
+        self.queue = []               # ExitFault objects to emit, in order
+        self.faulted = []
+        self.steps = 0
+        if handles_faults:
+            self.deliver_fault = self.faulted.append
+
+    def bind(self, kernel, pd):
+        self.kernel, self.pd = kernel, pd
+
+    def step(self, budget):
+        self.steps += 1
+        if self.queue:
+            return self.queue.pop(0)
+        self.kernel.cpu.instr(20_000)
+        return None
+
+    def deliver_virq(self, irq):
+        pass
+
+    def complete_hypercall(self, exit_):
+        pass
+
+
+@pytest.fixture
+def kernel(small_machine):
+    k = MiniNova(small_machine, KernelConfig(quantum_ms=1.0))
+    k.boot()
+    return k
+
+
+def vm(kernel, name, runner):
+    pd = kernel.create_vm(name, runner)
+    runner.bind(kernel, pd)
+    return pd
+
+
+# -- 1. VFP lazy trap ---------------------------------------------------------
+
+def test_vfp_und_triggers_lazy_switch(kernel):
+    r = StubRunner()
+    pd = vm(kernel, "a", r)
+    kernel._handle_fault(pd, ExitFault(
+        UndefinedInstruction("VFP instruction with FPEXC.EN=0")))
+    assert kernel.cpu.vfp.enabled
+    assert kernel.cpu.vfp.owner == pd.vm_id
+    assert pd.vcpu.used_vfp
+    assert pd.state is not PdState.DEAD
+    assert kernel.metrics.counter("kernel.vfp_lazy_switches").value == 1
+    assert kernel.tracer.count("vfp_lazy_switch") == 1
+    assert pd.faults == 1
+
+
+def test_vfp_trap_saves_previous_owner_bank(kernel):
+    a, b = StubRunner(), StubRunner()
+    pa = vm(kernel, "a", a)
+    pb = vm(kernel, "b", b)
+    trap = lambda: UndefinedInstruction("VFP instruction with FPEXC.EN=0")
+    kernel._handle_fault(pa, ExitFault(trap()))
+    assert kernel.cpu.vfp.owner == pa.vm_id
+    saves0 = kernel.cpu.vfp.saves
+    # B traps next: A's bank must be saved before B's is restored.
+    kernel.cpu.vfp.disable()                  # as a VM switch would
+    kernel._handle_fault(pb, ExitFault(trap()))
+    assert kernel.cpu.vfp.owner == pb.vm_id
+    assert kernel.cpu.vfp.saves == saves0 + 1
+
+
+def test_non_vfp_und_is_not_a_lazy_switch(kernel):
+    """An UND that isn't a VFP trap takes the generic path (kill here:
+    the stub has no handler) instead of enabling the VFP."""
+    r = StubRunner()
+    pd = vm(kernel, "a", r)
+    kernel._handle_fault(pd, ExitFault(UndefinedInstruction("CP15 access")))
+    assert pd.state is PdState.DEAD
+    assert not kernel.cpu.vfp.enabled
+    assert kernel.metrics.counter("kernel.vfp_lazy_switches").value == 0
+
+
+# -- 2. forward to the guest handler ------------------------------------------
+
+def test_fault_forwarded_once_to_handler(kernel):
+    r = StubRunner(handles_faults=True)
+    pd = vm(kernel, "a", r)
+    fault = DataAbort(0x9000_0000, "reclaimed page")
+    kernel._handle_fault(pd, ExitFault(fault))
+    assert r.faulted == [fault]
+    assert pd.state is not PdState.DEAD
+    assert kernel.metrics.counter("kernel.vm_kills").value == 0
+
+
+def test_forwarded_fault_preserves_details(kernel):
+    r = StubRunner(handles_faults=True)
+    pd = vm(kernel, "a", r)
+    kernel._handle_fault(pd, ExitFault(
+        DataAbort(0xBAD0_0000, "wild guest pointer", write=True)))
+    (f,) = r.faulted
+    assert f.vaddr == 0xBAD0_0000
+    assert f.write is True
+    assert "wild" in f.reason
+
+
+# -- 3. containment: kill on unhandled fault ----------------------------------
+
+def test_unhandled_fault_kills_only_that_vm(kernel):
+    bad = StubRunner()
+    bad.queue = [ExitFault(DataAbort(0xDEAD_0000, "no handler"))]
+    good = StubRunner(handles_faults=True)
+    pd_bad = vm(kernel, "bad", bad)
+    pd_good = vm(kernel, "good", good)
+    kernel.run(until_cycles=ms_to_cycles(3))
+    assert pd_bad.state is PdState.DEAD
+    assert pd_good.state is not PdState.DEAD
+    assert good.steps > 0                     # the neighbour kept running
+    assert kernel.metrics.counter("kernel.vm_kills").value == 1
+    ev = kernel.tracer.find("vm_killed")
+    assert len(ev) == 1
+    assert ev[0].info == {"vm": pd_bad.vm_id, "reason": "unhandled_fault"}
+    assert ev[0].cat == "fault"
+
+
+def test_dead_vm_is_descheduled_for_good(kernel):
+    bad = StubRunner()
+    bad.queue = [ExitFault(DataAbort(0xDEAD_0000, "no handler"))]
+    pd = vm(kernel, "bad", bad)
+    kernel.run(until_cycles=ms_to_cycles(2))
+    steps_at_death = bad.steps
+    kernel.run(until_cycles=ms_to_cycles(4))
+    assert bad.steps == steps_at_death        # never stepped again
+    assert pd.state is PdState.DEAD
+
+
+def test_fault_counter_increments_per_fault(kernel):
+    r = StubRunner(handles_faults=True)
+    pd = vm(kernel, "a", r)
+    for i in range(3):
+        kernel._handle_fault(pd, ExitFault(DataAbort(0x1000 * i, "x")))
+    assert pd.faults == 3
+    assert len(r.faulted) == 3

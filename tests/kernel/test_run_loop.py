@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.common.errors import GuestPanic
 from repro.common.units import ms_to_cycles
 from repro.kernel import layout as L
 from repro.kernel.core import KernelConfig, MiniNova
@@ -149,11 +148,16 @@ def test_unhandled_fault_kills_vm(kernel):
     f = Faulty()
     f.deliver_fault = None
     pd = kernel.create_vm("bad", f)
-    # deliver_fault None means getattr finds None -> kill path
-    with pytest.raises(GuestPanic):
-        kernel.run(until_cycles=ms_to_cycles(2))
+    other = ChunkRunner()
+    kernel.create_vm("good", other)
+    # deliver_fault None means getattr finds None -> kill path.  The kill
+    # is *contained*: no host exception, and the other VM keeps running.
+    kernel.run(until_cycles=ms_to_cycles(2))
     from repro.kernel.pd import PdState
     assert pd.state is PdState.DEAD
+    assert other.steps > 0
+    assert kernel.metrics.counter("kernel.vm_kills").value == 1
+    assert kernel.tracer.count("vm_killed") == 1
 
 
 def test_fault_forwarded_to_guest_handler(kernel):
