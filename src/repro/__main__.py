@@ -13,9 +13,13 @@ Commands:
   CI smoke profile; see docs/BENCHMARKS.md and tools/bench_compare.py)
 * ``inventory``— list the hardware-task library and the fabric floorplan
 * ``faults``   — run the deterministic fault-injection matrix
-  (``--list`` for the catalog, ``--scenario NAME|all`` to execute; output
-  is seeded, sorted-keys JSON — byte-identical across runs, which the CI
-  ``fault-matrix`` job checks.  See docs/FAULTS.md)
+  (``--list`` for the scenario and fault-site catalogs, ``--scenario
+  NAME|all`` to execute; output is seeded, sorted-keys JSON —
+  byte-identical across runs, which the CI ``fault-matrix`` job checks.
+  See docs/FAULTS.md)
+* ``soak``     — run the fault matrix while crashing/hanging the Hardware
+  Task Manager at seeded points, asserting the recovery invariants after
+  every run (``--crashes N`` sets the fault budget; docs/RECOVERY.md)
 """
 
 from __future__ import annotations
@@ -108,10 +112,16 @@ def cmd_faults(args: argparse.Namespace) -> int:
     from .faults.matrix import SCENARIOS, run_all, run_scenario
 
     if args.list:
+        from .faults.plan import SITE_EFFECTS
+
         print("fault scenarios (docs/FAULTS.md):")
         for name, fn in SCENARIOS.items():
             doc = (fn.__doc__ or "").strip().split("\n")[0]
             print(f"  {name:14s} {doc}")
+        print()
+        print("fault sites (FaultSpec.site):")
+        for site, effect in SITE_EFFECTS.items():
+            print(f"  {site:22s} {effect}")
         return 0
     if args.scenario == "all":
         payload = run_all(args.seed)
@@ -136,6 +146,35 @@ def cmd_faults(args: argparse.Namespace) -> int:
     if not ok:
         print("FAULT MATRIX: one or more checks failed", file=sys.stderr)
     return 0 if ok else 1
+
+
+def cmd_soak(args: argparse.Namespace) -> int:
+    import json
+
+    from .faults.soak import run_soak
+
+    payload = run_soak(seed=args.seed, crashes=args.crashes,
+                       max_runs=args.max_runs)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as f:
+                f.write(text)
+        except OSError as exc:
+            print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    t = payload["totals"]
+    print(f"soak: {t['runs']} runs, {t['faults_fired']} manager faults, "
+          f"{t['restarts']} restarts, "
+          f"{t['invariant_violations']} invariant violations",
+          file=sys.stderr)
+    if not payload["ok"]:
+        print("SOAK: invariant violations or unreached crash target",
+              file=sys.stderr)
+    return 0 if payload["ok"] else 1
 
 
 def cmd_inventory(args: argparse.Namespace) -> int:
@@ -214,6 +253,19 @@ def main(argv: list[str] | None = None) -> int:
                           help="write the JSON result to FILE instead of "
                                "stdout")
     p_faults.set_defaults(fn=cmd_faults)
+
+    p_soak = sub.add_parser(
+        "soak", help="fault matrix under seeded manager crashes "
+                     "(docs/RECOVERY.md)")
+    p_soak.add_argument("--seed", type=int, default=1)
+    p_soak.add_argument("--crashes", type=int, default=100,
+                        help="run until this many manager faults fired "
+                             "(default: 100)")
+    p_soak.add_argument("--max-runs", type=int, default=None,
+                        help="hard cap on scenario runs (default: 4x crashes)")
+    p_soak.add_argument("--out", metavar="FILE", default=None,
+                        help="write the JSON result to FILE instead of stdout")
+    p_soak.set_defaults(fn=cmd_soak)
 
     args = ap.parse_args(argv)
     return args.fn(args)

@@ -2,13 +2,15 @@
 
 from .errors import (
     ArchFault,
-    ConfigError,
     DataAbort,
+    DeviceBusy,
+    DeviceError,
     GuestPanic,
     HwMmuFault,
     HypercallError,
     PrefetchAbort,
     ReproError,
+    ServiceCrashed,
     SimulationError,
     UndefinedInstruction,
 )
@@ -37,8 +39,9 @@ from .units import (
 )
 
 __all__ = [
-    "ArchFault", "ConfigError", "DataAbort", "GuestPanic", "HwMmuFault",
-    "HypercallError", "PrefetchAbort", "ReproError", "SimulationError",
+    "ArchFault", "ConfigError", "DataAbort", "DeviceBusy", "DeviceError",
+    "GuestPanic", "HwMmuFault", "HypercallError", "PrefetchAbort",
+    "ReproError", "ServiceCrashed", "SimulationError",
     "UndefinedInstruction",
     "DEFAULT_PARAMS", "CacheParams", "CpuTiming", "FpgaParams",
     "MemoryMapParams", "PlatformParams", "TlbParams",
@@ -47,3 +50,10 @@ __all__ = [
     "fpga_cycles_to_cpu_cycles", "hexaddr", "is_aligned", "ms_to_cycles",
     "us_to_cycles",
 ]
+
+
+def __getattr__(name: str):  # deprecation alias, re-warns via .errors
+    if name == "ConfigError":
+        from . import errors
+        return errors.ConfigError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

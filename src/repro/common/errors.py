@@ -7,13 +7,11 @@ the simulated exception machinery, the latter should propagate to pytest.
 
 from __future__ import annotations
 
+import warnings
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this package."""
-
-
-class ConfigError(ReproError):
-    """Invalid or inconsistent platform/kernel configuration."""
 
 
 class SimulationError(ReproError):
@@ -21,17 +19,29 @@ class SimulationError(ReproError):
 
 
 class DeviceError(ReproError):
-    """A modelled device (PCAP, PRR controller...) failed an operation."""
+    """A modelled device or service (PCAP, PRR controller, manager...)
+    failed an operation, or was configured inconsistently.
 
-
-class DeviceBusy(DeviceError, ConfigError):
-    """The device is already servicing a request.
-
-    Inherits :class:`ConfigError` as a deprecation-safe alias: callers
-    that still catch ``ConfigError`` for the old PCAP "transfer already
-    in progress" path keep working, but new code should catch
-    :class:`DeviceBusy` (or :class:`DeviceError`).
+    Subsumes the retired ``ConfigError``: importing that name still works
+    but resolves to this class and emits a :class:`DeprecationWarning`.
     """
+
+
+class DeviceBusy(DeviceError):
+    """The device is already servicing a request."""
+
+
+class ServiceCrashed(DeviceError):
+    """A user-level service PD died mid-request (injected or detected).
+
+    Raised out of the ManagerService's step path when a ``service.crash``
+    fault fires at one of its named crashpoints; the kernel run loop
+    catches it and hands the dead PD to the :class:`ManagerSupervisor`.
+    """
+
+    def __init__(self, point: str) -> None:
+        super().__init__(f"service crashed at crashpoint {point!r}")
+        self.point = point
 
 
 class MemoryError_(ReproError):
@@ -102,3 +112,13 @@ class HypercallError(ReproError):
 
 class GuestPanic(ReproError):
     """A guest OS hit an unrecoverable internal error."""
+
+
+def __getattr__(name: str):  # PEP 562 deprecation alias
+    if name == "ConfigError":
+        warnings.warn(
+            "ConfigError is deprecated; use DeviceError "
+            "(repro.common.errors.DeviceError) instead",
+            DeprecationWarning, stacklevel=2)
+        return DeviceError
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
-from .errors import ConfigError
+from .errors import DeviceError
 from .units import CPU_HZ_DEFAULT, FPGA_HZ_DEFAULT, KB, MB
 
 
@@ -26,9 +26,9 @@ class CacheParams:
 
     def __post_init__(self) -> None:
         if self.size % (self.ways * self.line):
-            raise ConfigError(f"cache size {self.size} not divisible by ways*line")
+            raise DeviceError(f"cache size {self.size} not divisible by ways*line")
         if self.line & (self.line - 1):
-            raise ConfigError("cache line size must be a power of two")
+            raise DeviceError("cache line size must be a power of two")
 
     @property
     def sets(self) -> int:
@@ -44,7 +44,7 @@ class TlbParams:
 
     def __post_init__(self) -> None:
         if self.entries % self.ways:
-            raise ConfigError("TLB entries must divide evenly into ways")
+            raise DeviceError("TLB entries must divide evenly into ways")
 
     @property
     def sets(self) -> int:

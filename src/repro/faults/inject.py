@@ -37,6 +37,7 @@ class FaultInjector:
         machine.pcap.faults = self
         machine.prr_controller.faults = self
         if kernel is not None:
+            kernel.faults = self
             self._tracer = kernel.tracer
             self._metrics = kernel.metrics
         self._schedule_storms(machine)

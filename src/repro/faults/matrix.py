@@ -86,13 +86,17 @@ def _thw(sc, i: int = 0) -> dict[str, int]:
 
 # -- scenarios ----------------------------------------------------------------
 
-def scenario_pcap_retry(seed: int = 1) -> dict[str, Any]:
+def scenario_pcap_retry(seed: int = 1, *, extra_specs=(),
+                    _capture=None) -> dict[str, Any]:
     """One corrupted bitstream: the PCAP retries and the guest completes."""
-    plan = FaultPlan([FaultSpec(BITSTREAM_CORRUPT, max_fires=1)], seed=seed)
+    plan = FaultPlan([FaultSpec(BITSTREAM_CORRUPT, max_fires=1),
+                      *extra_specs], seed=seed)
     sc = build_virtualized(1, seed=seed, verify=True, with_workloads=False,
                            iterations=3, task_set=("fft256",),
                            fault_plan=plan)
     sc.run_until_completions(3, max_ms=400.0)
+    if _capture is not None:
+        _capture["sc"] = sc
     c = _fault_counters(sc.kernel)
     t = _thw(sc)
     checks = {
@@ -105,15 +109,18 @@ def scenario_pcap_retry(seed: int = 1) -> dict[str, Any]:
     return _result("pcap-retry", seed, sc, checks, thw=t)
 
 
-def scenario_pcap_fail(seed: int = 1) -> dict[str, Any]:
+def scenario_pcap_fail(seed: int = 1, *, extra_specs=(),
+                    _capture=None) -> dict[str, Any]:
     """Persistent PCAP errors: bounded retries, then a VM-visible error
     status — the guest survives, nothing hangs."""
-    plan = FaultPlan([FaultSpec(PCAP_TRANSFER_ERROR, max_fires=UNLIMITED)],
-                     seed=seed)
+    plan = FaultPlan([FaultSpec(PCAP_TRANSFER_ERROR, max_fires=UNLIMITED),
+                      *extra_specs], seed=seed)
     sc = build_virtualized(1, seed=seed, with_workloads=False,
                            iterations=2, task_set=("fft256",),
                            fault_plan=plan)
     sc.run_ms(150.0)
+    if _capture is not None:
+        _capture["sc"] = sc
     c = _fault_counters(sc.kernel)
     t = _thw(sc)
     checks = {
@@ -126,16 +133,20 @@ def scenario_pcap_fail(seed: int = 1) -> dict[str, Any]:
     return _result("pcap-fail", seed, sc, checks, thw=t)
 
 
-def scenario_hw_hang(seed: int = 1) -> dict[str, Any]:
+def scenario_hw_hang(seed: int = 1, *, extra_specs=(),
+                    _capture=None) -> dict[str, Any]:
     """A started task never signals DONE: the controller watchdog expires,
     the manager force-reclaims the PRR, the guest re-requests and wins."""
-    plan = FaultPlan([FaultSpec(PRR_HANG, max_fires=1)], seed=seed)
+    plan = FaultPlan([FaultSpec(PRR_HANG, max_fires=1), *extra_specs],
+                     seed=seed)
     # Poll mode: the hang is detected by the watchdog, not by an IRQ that
     # will never come.
     sc = build_virtualized(1, seed=seed, use_irq=False, verify=True,
                            with_workloads=False, iterations=4,
                            task_set=("fft256",), fault_plan=plan)
     sc.run_until_completions(4, max_ms=600.0)
+    if _capture is not None:
+        _capture["sc"] = sc
     c = _fault_counters(sc.kernel)
     t = _thw(sc)
     lat = sc.kernel.metrics.histogram("recovery.latency_cycles")
@@ -152,14 +163,18 @@ def scenario_hw_hang(seed: int = 1) -> dict[str, Any]:
                    free_prrs=free_prrs)
 
 
-def scenario_spurious_done(seed: int = 1) -> dict[str, Any]:
+def scenario_spurious_done(seed: int = 1, *, extra_specs=(),
+                    _capture=None) -> dict[str, Any]:
     """Spurious DONE IRQs mid-computation: the client re-waits instead of
     reading a half-written result."""
-    plan = FaultPlan([FaultSpec(PRR_SPURIOUS_DONE, max_fires=2)], seed=seed)
+    plan = FaultPlan([FaultSpec(PRR_SPURIOUS_DONE, max_fires=2),
+                      *extra_specs], seed=seed)
     sc = build_virtualized(1, seed=seed, use_irq=True, verify=True,
                            with_workloads=False, iterations=4,
                            task_set=("qam16",), fault_plan=plan)
     sc.run_until_completions(4, max_ms=400.0)
+    if _capture is not None:
+        _capture["sc"] = sc
     c = _fault_counters(sc.kernel)
     t = _thw(sc)
     checks = {
@@ -171,16 +186,19 @@ def scenario_spurious_done(seed: int = 1) -> dict[str, Any]:
     return _result("spurious-done", seed, sc, checks, thw=t)
 
 
-def scenario_plirq_storm(seed: int = 1) -> dict[str, Any]:
+def scenario_plirq_storm(seed: int = 1, *, extra_specs=(),
+                    _capture=None) -> dict[str, Any]:
     """A burst of unsolicited PL IRQs on an unowned line: the kernel EOIs
     and counts them; no guest sees a phantom completion."""
     plan = FaultPlan([FaultSpec(PLIRQ_STORM, params={
-        "line": 15, "at": 200_000, "count": 8, "spacing": 2_000})],
-        seed=seed)
+        "line": 15, "at": 200_000, "count": 8, "spacing": 2_000}),
+        *extra_specs], seed=seed)
     sc = build_virtualized(2, seed=seed, verify=True, with_workloads=False,
                            iterations=3, task_set=("fft256", "qam16"),
                            fault_plan=plan)
     sc.run_until_completions(6, max_ms=400.0)
+    if _capture is not None:
+        _capture["sc"] = sc
     c = _fault_counters(sc.kernel)
     checks = {
         "storm_fired": plan.fires(PLIRQ_STORM) == 1,
@@ -223,11 +241,12 @@ def _make_fallback_task(directory: dict[str, int], results: dict, *,
     return fn
 
 
-def scenario_sw_fallback(seed: int = 1) -> dict[str, Any]:
+def scenario_sw_fallback(seed: int = 1, *, extra_specs=(),
+                    _capture=None) -> dict[str, Any]:
     """Every reconfiguration fails: the adaptive FFT/QAM APIs degrade to
     software with bit-identical output."""
-    plan = FaultPlan([FaultSpec(PCAP_TRANSFER_ERROR, max_fires=UNLIMITED)],
-                     seed=seed)
+    plan = FaultPlan([FaultSpec(PCAP_TRANSFER_ERROR, max_fires=UNLIMITED),
+                      *extra_specs], seed=seed)
     sc = build_virtualized(1, seed=seed, with_workloads=False,
                            iterations=0, fault_plan=plan)
     results: dict[str, Any] = {}
@@ -235,6 +254,8 @@ def scenario_sw_fallback(seed: int = 1) -> dict[str, Any]:
         "fallback", _PRIO_AUX,
         _make_fallback_task(sc.directory, results, seed=seed))
     sc.run_ms(200.0)
+    if _capture is not None:
+        _capture["sc"] = sc
     c = _fault_counters(sc.kernel)
     checks = {
         "both_fell_back": c["sw_fallbacks"] == 2,
@@ -251,7 +272,8 @@ def scenario_sw_fallback(seed: int = 1) -> dict[str, Any]:
                              for k, v in sorted(results.items())})
 
 
-def scenario_rogue_guest(seed: int = 1) -> dict[str, Any]:
+def scenario_rogue_guest(seed: int = 1, *, extra_specs=(),
+                    _capture=None) -> dict[str, Any]:
     """Three misbehaving guests next to one healthy one: a hypercall
     fuzzer, a wild-DMA client, and a wild-pointer VM.  The fuzzer and the
     DMA client are rejected call-by-call; the wild-pointer VM is killed;
@@ -259,6 +281,7 @@ def scenario_rogue_guest(seed: int = 1) -> dict[str, Any]:
     plan = FaultPlan([
         FaultSpec(GUEST_BAD_HYPERCALL, max_fires=UNLIMITED),
         FaultSpec(GUEST_WILD_POINTER, max_fires=UNLIMITED),
+        *extra_specs,
     ], seed=seed)
     sc = build_virtualized(1, seed=seed, verify=True, with_workloads=False,
                            iterations=3, task_set=("fft256",),
@@ -281,6 +304,8 @@ def scenario_rogue_guest(seed: int = 1) -> dict[str, Any]:
     wild_pd = kernel.create_vm("rogue-ptr", wild)
 
     sc.run_ms(200.0)
+    if _capture is not None:
+        _capture["sc"] = sc
     c = _fault_counters(sc.kernel)
     t = _thw(sc)
     from ..kernel.pd import PdState

@@ -22,6 +22,8 @@ site                    effect at the site
 ``plirq.storm``          a burst of unsolicited PL IRQs on one line
 ``guest.bad_hypercall``  a guest issues malformed hypercalls (rogue module)
 ``guest.wild_pointer``   a guest programs wild DMA pointers (rogue module)
+``service.crash``        the manager service dies at a named crashpoint
+``service.hang``         the manager service stops draining its mailbox
 ======================  =====================================================
 """
 
@@ -41,18 +43,25 @@ PRR_SPURIOUS_DONE = "prr.spurious_done"
 PLIRQ_STORM = "plirq.storm"
 GUEST_BAD_HYPERCALL = "guest.bad_hypercall"
 GUEST_WILD_POINTER = "guest.wild_pointer"
+SERVICE_CRASH = "service.crash"
+SERVICE_HANG = "service.hang"
+
+#: One-line effect per site, used by ``python -m repro faults --list``.
+SITE_EFFECTS = {
+    PCAP_TRANSFER_ERROR: "the DevC transfer aborts with a CRC/DMA error",
+    PCAP_HANG: "the transfer stalls past its watchdog timeout",
+    BITSTREAM_CORRUPT: "the streamed bitstream fails its checksum on landing",
+    PRR_HANG: "a started hardware task never signals DONE",
+    PRR_SPURIOUS_DONE: "the PRR raises its PL IRQ with no completed work",
+    PLIRQ_STORM: "a burst of unsolicited PL IRQs on one line",
+    GUEST_BAD_HYPERCALL: "a guest issues malformed hypercalls (rogue module)",
+    GUEST_WILD_POINTER: "a guest programs wild DMA pointers (rogue module)",
+    SERVICE_CRASH: "the manager service dies at a named crashpoint",
+    SERVICE_HANG: "the manager service stops draining its mailbox",
+}
 
 #: Every site the injector understands; plans naming others are rejected.
-ALL_SITES = (
-    PCAP_TRANSFER_ERROR,
-    PCAP_HANG,
-    BITSTREAM_CORRUPT,
-    PRR_HANG,
-    PRR_SPURIOUS_DONE,
-    PLIRQ_STORM,
-    GUEST_BAD_HYPERCALL,
-    GUEST_WILD_POINTER,
-)
+ALL_SITES = tuple(SITE_EFFECTS)
 
 #: max_fires value meaning "no limit".
 UNLIMITED = -1

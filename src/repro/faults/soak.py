@@ -1,0 +1,136 @@
+"""Crash-recovery soak harness: the fault matrix under manager murder.
+
+Replays the seven canned fault scenarios round-robin while injecting
+``service.crash`` / ``service.hang`` faults into the Hardware Task
+Manager at randomized-but-seeded points, and asserts the recovery
+invariants after every run:
+
+* the invariant checker (:func:`repro.hwmgr.invariants.check_invariants`)
+  reports **zero** violations against hardware ground truth;
+* the intent journal balances — every opened entry was committed or
+  aborted exactly once (no lost or double-applied operations);
+* request conservation per guest: every request the workload issued is
+  accounted as completed, busy, or errored (at most one may still be in
+  flight when the horizon cuts the run);
+* the supervisor restarted the manager for every fired crash, and the
+  ``supervisor.invariant_violations`` metric stayed at zero.
+
+All randomness flows through :func:`repro.common.rng.make_rng` with a
+dedicated ``soak`` stream and a fixed number of draws per iteration, so
+the same ``(seed, crashes)`` always produces the same run sequence and a
+byte-identical JSON payload — CI runs the soak twice and diffs it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..common.rng import make_rng
+from ..hwmgr.invariants import check_invariants
+from .matrix import SCENARIOS
+from .plan import SERVICE_CRASH, SERVICE_HANG, FaultSpec
+
+#: Crashpoint-occurrence window the crash index is drawn from.  Small
+#: enough that most draws land inside a scenario's consult count, large
+#: enough to spread crashes across early and late requests.
+_MAX_AFTER = 12
+
+
+def _run_checks(sc, plan) -> tuple[dict[str, bool], list[str]]:
+    kernel = sc.kernel
+    sup = kernel.supervisor
+    journal = kernel.manager_journal
+    violations = check_invariants(kernel)
+    conserved = all(
+        0 <= g.thw_stats.requests - (g.thw_stats.completions
+                                     + g.thw_stats.busy
+                                     + g.thw_stats.errors) <= 1
+        for g in sc.guests)
+    checks = {
+        "invariants_hold": not violations,
+        "journal_balanced": journal is None or journal.balanced(),
+        "requests_conserved": conserved,
+        "crashes_all_handled": sup.crashes == plan.fires(SERVICE_CRASH),
+        # Every crash restarts synchronously.  A hang only forces a
+        # restart when the stall outlives the deadline — a fresh request
+        # can resume the wedged service first, in which case it recovers
+        # on its own and the conservation/invariant checks above are the
+        # ones that matter.
+        "restarted_per_crash": sup.restarts >= plan.fires(SERVICE_CRASH),
+        "no_violation_metric":
+            kernel.metrics.total("supervisor.invariant_violations") == 0,
+    }
+    return checks, violations
+
+
+def run_soak(*, seed: int = 1, crashes: int = 100,
+             max_runs: int | None = None) -> dict[str, Any]:
+    """Run the scenario matrix under seeded manager crashes/hangs.
+
+    Keeps cycling scenarios until at least ``crashes`` supervision
+    faults have actually fired (bounded by ``max_runs``, default
+    ``4 * crashes``).  Returns a JSON-serializable payload with per-run
+    check maps; ``ok`` is their conjunction.
+    """
+    rng = make_rng(seed, stream="soak")
+    names = list(SCENARIOS)
+    if max_runs is None:
+        max_runs = max(4 * crashes, len(names))
+    runs: list[dict[str, Any]] = []
+    fired_total = 0
+    restarts_total = 0
+    all_violations: list[str] = []
+    i = 0
+    while fired_total < crashes and i < max_runs:
+        # Fixed draw count per iteration keeps the stream aligned no
+        # matter what each run does with the faults.
+        name = names[i % len(names)]
+        mode = "hang" if int(rng.integers(0, 4)) == 0 else "crash"
+        after = int(rng.integers(0, _MAX_AFTER))
+        fires = 1 + int(rng.integers(0, 2))
+        if mode == "crash":
+            spec = FaultSpec(SERVICE_CRASH, after=after, max_fires=fires)
+        else:
+            spec = FaultSpec(SERVICE_HANG, after=after, max_fires=1)
+        capture: dict[str, Any] = {}
+        result = SCENARIOS[name](seed + i, extra_specs=(spec,),
+                                 _capture=capture)
+        sc = capture["sc"]
+        plan = sc.injector.plan
+        checks, violations = _run_checks(sc, plan)
+        fired = plan.fires(SERVICE_CRASH) + plan.fires(SERVICE_HANG)
+        fired_total += fired
+        restarts_total += sc.kernel.supervisor.restarts
+        all_violations.extend(violations)
+        runs.append({
+            "run": i,
+            "scenario": name,
+            "mode": mode,
+            "after": after,
+            "fired": fired,
+            "restarts": sc.kernel.supervisor.restarts,
+            "bounced": sc.kernel.metrics.total("recovery.bounced_requests"),
+            "rollbacks": sc.kernel.metrics.total(
+                "recovery.journal_rollbacks"),
+            "replays": sc.kernel.metrics.total("recovery.journal_replays"),
+            "reconciles": sc.kernel.metrics.total(
+                "recovery.reconcile_reclaims"),
+            "checks": {k: bool(v) for k, v in sorted(checks.items())},
+            "ok": all(checks.values()),
+        })
+        i += 1
+    return {
+        "seed": seed,
+        "crash_target": crashes,
+        "runs": runs,
+        "totals": {
+            "runs": len(runs),
+            "faults_fired": fired_total,
+            "restarts": restarts_total,
+            "invariant_violations": len(all_violations),
+        },
+        "violations": all_violations,
+        "reached_target": fired_total >= crashes,
+        "ok": bool(runs) and all(r["ok"] for r in runs)
+        and not all_violations and fired_total >= crashes,
+    }

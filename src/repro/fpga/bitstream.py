@@ -13,7 +13,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
-from ..common.errors import ConfigError
+from ..common.errors import DeviceError
 from ..mem.phys import Bus, FrameAllocator
 from .ip import IpCore, make_core
 
@@ -57,12 +57,12 @@ class BitstreamStore:
 
     def get(self, task: str) -> Bitstream:
         if task not in self._by_task:
-            raise ConfigError(f"no bitstream installed for task {task!r}")
+            raise DeviceError(f"no bitstream installed for task {task!r}")
         return self._by_task[task]
 
     def core(self, task: str) -> IpCore:
         if task not in self._cores:
-            raise ConfigError(f"no core for task {task!r}")
+            raise DeviceError(f"no core for task {task!r}")
         return self._cores[task]
 
     def tasks(self) -> list[str]:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from ..common.errors import ConfigError
+from ..common.errors import DeviceError
 from ..common.params import FpgaParams
 from ..common.units import fpga_cycles_to_cpu_cycles
 from ..gic.gic import Gic
@@ -159,7 +159,7 @@ class PrrController:
     def _ctl_prr(self, off: int) -> tuple[Prr, int]:
         idx, field = divmod(off, CTL_STRIDE)
         if idx >= len(self.prrs):
-            raise ConfigError(f"control page offset {off:#x} beyond PRR count")
+            raise DeviceError(f"control page offset {off:#x} beyond PRR count")
         return self.prrs[idx], field
 
     def _ctl_read(self, off: int) -> int:
@@ -267,7 +267,7 @@ class PrrController:
         data = self.bus.dram.read_bytes(prr.src, prr.length)
         result = core.run(data)
         if len(result) != outlen:
-            raise ConfigError(
+            raise DeviceError(
                 f"{core.name}: out_len() promised {outlen}, run() produced {len(result)}")
         self.bus.dram.write_bytes(prr.dst, result)
         prr.outlen = outlen
@@ -300,8 +300,13 @@ class PrrController:
 
     def finish_reconfig(self, prr_id: int, core: IpCore) -> None:
         prr = self.prrs[prr_id]
+        if not prr.reconfiguring and prr.status == PrrStatus.ERR_RECONFIG:
+            # The reconfiguration was aborted (force reclaim, crash
+            # recovery) while the stream was in flight: drop the late
+            # completion so the region stays in the state the abort left.
+            return
         if not prr.can_host(core):
-            raise ConfigError(
+            raise DeviceError(
                 f"PRR{prr_id} cannot host {core.name} (resource overflow)")
         prr.core = core
         prr.reconfiguring = False

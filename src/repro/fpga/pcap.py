@@ -55,6 +55,9 @@ class Pcap:
         self.bytes_moved = 0
         #: Hook: called (prr_id, task_name) when a reconfiguration lands.
         self.on_done: Callable[[int, str], None] | None = None
+        #: Hook: called (prr_id) when a reconfiguration is abandoned —
+        #: retries exhausted or the transfer cancelled (docs/RECOVERY.md).
+        self.on_abort: Callable[[int], None] | None = None
         self._regs = {"src": 0, "len": 0, "target": 0}
         #: Fault injector attachment point; None = happy path only.
         self.faults = None
@@ -72,6 +75,8 @@ class Pcap:
         self._xfer_attempt = 0
         self._xfer_corrupt = False
         self._timeout_ev: EventHandle | None = None
+        self._completion_ev: EventHandle | None = None
+        self._retry_ev: EventHandle | None = None
         # Observability (attached by the kernel / native system at boot):
         # pcap_xfer_start/_end span + transfer counters, docs/OBSERVABILITY.md.
         self._tracer = None
@@ -93,6 +98,7 @@ class Pcap:
             metrics.counter("pcap.errors")
             metrics.counter("recovery.pcap_retries")
             metrics.counter("recovery.pcap_giveups")
+            metrics.counter("recovery.pcap_cancels")
 
     # -- direct API (used by the Hardware Task Manager) --------------------
 
@@ -135,6 +141,7 @@ class Pcap:
             self._m_transfers.inc()
             self._m_bytes.inc(bitstream.size)
             self._m_xfer_cycles.observe(delay)
+        self._retry_ev = None
         completion = self.sim.schedule(delay, self._complete, prr_id, task,
                                        label=f"pcap-{task}->prr{prr_id}")
         if self.faults is not None:
@@ -149,6 +156,7 @@ class Pcap:
             self._timeout_ev = self.sim.schedule(
                 timeout, self._timeout_fire, completion,
                 label=f"pcap-timeout-prr{prr_id}")
+        self._completion_ev = completion
         return delay
 
     def _disarm_timeout(self) -> None:
@@ -166,6 +174,7 @@ class Pcap:
     def _complete(self, prr_id: int, task: str) -> None:
         from .ip import make_core
         self._disarm_timeout()
+        self._completion_ev = None
         if self._xfer_corrupt:
             self._fail("crc")
             return
@@ -202,8 +211,9 @@ class Pcap:
                 self._tracer.mark("pcap_retry", cat="fault", prr=prr_id,
                                   task=task, attempt=attempt,
                                   backoff=backoff)
-            self.sim.schedule(backoff, self._launch,
-                              label=f"pcap-retry-{task}->prr{prr_id}")
+            self._retry_ev = self.sim.schedule(
+                backoff, self._launch,
+                label=f"pcap-retry-{task}->prr{prr_id}")
             return
         # Out of retries: abort the reconfiguration.  The PRR lands in
         # ERR_RECONFIG (REG_TASKID reads all-ones), the DONE flag/IRQ still
@@ -216,9 +226,51 @@ class Pcap:
         self.controller.abort_reconfig(prr_id)
         self.busy = False
         self._xfer_bitstream = None
+        self._completion_ev = None
         self.done_flag = True
         if self.int_en:
             self.gic.assert_irq(IRQ_PCAP_DONE)
+        if self.on_abort is not None:
+            self.on_abort(prr_id)
+
+    def cancel_transfer(self, prr_id: int | None = None) -> int | None:
+        """Abandon the in-flight transfer (crash recovery / force reclaim).
+
+        If ``prr_id`` is given, only a transfer targeting that region is
+        cancelled.  The reconfiguration is aborted exactly like an
+        exhausted retry — the PRR lands in ERR_RECONFIG and the DONE
+        flag/IRQ fire so any waiting client wakes up and sees the error —
+        and the ``on_abort`` hook runs.  Returns the cancelled target's
+        PRR id, or ``None`` if there was nothing to cancel.
+        """
+        if not self.busy:
+            return None
+        target = self._xfer_prr
+        if prr_id is not None and prr_id != target:
+            return None
+        self._disarm_timeout()
+        if self._completion_ev is not None:
+            self._completion_ev.cancel()
+            self._completion_ev = None
+        if self._retry_ev is not None:
+            self._retry_ev.cancel()
+            self._retry_ev = None
+        task = self._xfer_task
+        self.controller.abort_reconfig(target)
+        self.busy = False
+        self._xfer_bitstream = None
+        self._xfer_corrupt = False
+        if self._tracer is not None:
+            self._tracer.mark("pcap_cancel", cat="fault", prr=target,
+                              task=task)
+        if self._metrics is not None:
+            self._metrics.counter("recovery.pcap_cancels").inc()
+        self.done_flag = True
+        if self.int_en:
+            self.gic.assert_irq(IRQ_PCAP_DONE)
+        if self.on_abort is not None:
+            self.on_abort(target)
+        return target
 
     # -- MMIO ----------------------------------------------------------------
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from ..common.errors import ConfigError
+from ..common.errors import DeviceError
 from .irqs import N_IRQS, SPURIOUS_IRQ
 
 # Register offsets (relative to the GIC window base).
@@ -38,7 +38,7 @@ class Gic:
 
     def __init__(self, n_irqs: int = N_IRQS) -> None:
         if n_irqs % 32:
-            raise ConfigError("n_irqs must be a multiple of 32")
+            raise DeviceError("n_irqs must be a multiple of 32")
         self.n_irqs = n_irqs
         self.enabled = [False] * n_irqs
         self.pending = [False] * n_irqs
@@ -105,7 +105,7 @@ class Gic:
 
     def _check_id(self, irq_id: int) -> None:
         if not 0 <= irq_id < self.n_irqs:
-            raise ConfigError(f"IRQ id {irq_id} out of range")
+            raise DeviceError(f"IRQ id {irq_id} out of range")
 
     def _best_pending(self) -> int | None:
         if not (self.dist_on and self.cpu_iface_on):

@@ -84,7 +84,9 @@ def hw_task_run(os: Ucos, task_table_id: int, task_name: str,
         res = yield HwRequest(task_id=task_table_id, iface_va=iface_va,
                               data_va=GL.HWDATA_VA, want_irq=want_irq)
         status, prr_id, irq_id = res
-        if status == HcStatus.BUSY:
+        if status in (HcStatus.BUSY, HcStatus.MANAGER_RESTARTING):
+            # Transient: no PRR/PCAP available, or the manager service is
+            # being restarted (docs/RECOVERY.md) — back off and retry.
             handle.retries += 1
             yield Delay(1)
             continue

@@ -10,7 +10,7 @@ work — exactly the differences the paper attributes the native column to.
 
 from __future__ import annotations
 
-from ...common.errors import ConfigError, GuestPanic
+from ...common.errors import DeviceError, GuestPanic
 from ...fpga.controller import CTL_STRIDE
 from ...gic import gic as gicdev
 from ...gic.irqs import IRQ_PCAP_DONE, IRQ_PRIVATE_TIMER, SPURIOUS_IRQ, pl_line
@@ -104,7 +104,7 @@ class NativeSystem:
     def run(self, *, until_cycles: int | None = None, until=None,
             max_iterations: int = 10_000_000) -> None:
         if not self.booted:
-            raise ConfigError("boot() first")
+            raise DeviceError("boot() first")
         for _ in range(max_iterations):
             if until_cycles is not None and self.sim.now >= until_cycles:
                 return
@@ -277,6 +277,12 @@ class _NativeManagerPort:
         cpu.write32(PCAP_BASE + PCAP_LEN, entry.bitstream.size)
         cpu.write32(PCAP_BASE + PCAP_TARGET, prr_id)
         self.sys.machine.pcap.start_transfer(entry.bitstream, prr_id)
+
+    def crashpoint(self, point: str) -> None:
+        pass  # the native manager is a plain function — it cannot "crash"
+
+    def pcap_cancel(self, prr_id: int) -> int | None:
+        return self.sys.machine.pcap.cancel_transfer(prr_id)
 
     def iface_va_of(self, client_vm: int, prr_id: int) -> int | None:
         # Identity space: the register group is always "mapped" at its PA.

@@ -16,6 +16,7 @@ from typing import Protocol
 from ..fpga.prr import Prr, PrrStatus
 from ..kernel.costs import MANAGER_COSTS as MC
 from ..kernel.hypercalls import HcStatus
+from .journal import OP_ALLOCATE, OP_RECLAIM, OP_RELEASE, IntentJournal
 from .tables import HardwareTaskTable, HwTaskEntry, PrrTable
 
 
@@ -75,6 +76,13 @@ class ManagerPort(Protocol):
     def prr_mapped_at(self, client_vm: int, va: int) -> int | None:
         """Which PRR (if any) the client currently has mapped at ``va``."""
 
+    def crashpoint(self, point: str) -> None:
+        """Named crash site: raises ServiceCrashed when a ``service.crash``
+        fault fires here (no-op otherwise — and always in the native port)."""
+
+    def pcap_cancel(self, prr_id: int) -> int | None:
+        """Cancel an in-flight PCAP transfer targeting ``prr_id``."""
+
 
 # Control-page field offsets (mirrors fpga.controller).
 from ..fpga.controller import (  # noqa: E402  (kept close to use)
@@ -91,15 +99,18 @@ class Allocator:
     """Stateful allocation engine over the two tables + live PRR objects."""
 
     def __init__(self, port: ManagerPort, task_table: HardwareTaskTable,
-                 prr_table: PrrTable, prrs: list[Prr]) -> None:
+                 prr_table: PrrTable, prrs: list[Prr],
+                 journal: IntentJournal | None = None) -> None:
         self.port = port
         self.tasks = task_table
         self.prr_table = prr_table
         self.prrs = prrs
+        self.journal = journal
         #: PL IRQ lines in use: line -> prr_id.
         self.irq_lines: dict[int, int] = {}
         self.stats = {"success": 0, "reconfig": 0, "busy": 0,
-                      "reclaims": 0, "errors": 0, "watchdog_reclaims": 0}
+                      "reclaims": 0, "errors": 0, "watchdog_reclaims": 0,
+                      "recovery_reclaims": 0}
 
     # -- helpers ------------------------------------------------------------
 
@@ -162,6 +173,20 @@ class Allocator:
         row = self.prr_table.row(prr.prr_id)
         reclaimed_from: int | None = None
 
+        # Write-ahead intent: from here on the routine mutates fabric
+        # state, so it must be recoverable (docs/RECOVERY.md).  The
+        # journal itself is untimed — its modelled cost rides on the
+        # alloc_bookkeeping budget below.
+        port.crashpoint("alloc.pre_intent")
+        jentry = None
+        if self.journal is not None:
+            jentry = self.journal.begin(
+                OP_ALLOCATE, client_vm=req.client_vm, task_id=req.task_id,
+                prr_id=prr.prr_id, reconfig=needs_reconfig)
+        port.crashpoint("alloc.post_intent")
+        if jentry is not None:
+            self.journal.note_act(jentry)
+
         # Stage 3a: reclaim from a previous client (consistency protocol).
         if prr.client_vm is not None and prr.client_vm != req.client_vm:
             reclaimed_from = prr.client_vm
@@ -185,6 +210,7 @@ class Allocator:
                 port.unmap_iface(req.client_vm, prr.prr_id)
             port.map_iface(req.client_vm, prr.prr_id, req.iface_va)
         port.ctl_write(prr.prr_id, CTL_CLIENT, req.client_vm)
+        port.crashpoint("alloc.mid_act")
 
         # Stage 4: load the hwMMU with the client's data section.
         port.code(0x700, MC.hwmmu_load)
@@ -207,6 +233,14 @@ class Allocator:
         row.client_vm = req.client_vm
         row.task_name = entry.name
         port.touch(row.row_addr, write=True)
+
+        # Commit point.  A reconfiguring allocation stays in ACT until the
+        # PCAP transfer lands (the service commits on the done IRQ, aborts
+        # on give-up/cancel); everything else commits here.
+        port.crashpoint("alloc.pre_commit")
+        if jentry is not None and not needs_reconfig:
+            self.journal.commit(jentry)
+        port.crashpoint("alloc.post_commit")
 
         # Stage 6: status return; reconfiguration completion is *not*
         # awaited (the client polls or takes the PCAP IRQ).
@@ -238,8 +272,9 @@ class Allocator:
 
     # -- watchdog recovery -------------------------------------------------------
 
-    def force_reclaim(self, prr_id: int) -> int | None:
-        """Take a *hung* PRR back to the free pool (watchdog recovery).
+    def force_reclaim(self, prr_id: int, *,
+                      reason: str = "watchdog") -> int | None:
+        """Take a compromised PRR back to the free pool.
 
         Runs the same consistency protocol as a normal reclaim (stage 3a
         of Fig. 7): register snapshot + 'inconsistent' state flag into the
@@ -248,12 +283,38 @@ class Allocator:
         (CTL_KILL), because its state cannot be trusted.  The region ends
         unowned and empty; the old client discovers the loss through its
         state flag / unmapped interface and re-requests the task.
-        Returns the old client's VM id (None if the region was unowned).
+
+        ``reason`` is ``"watchdog"`` (hung task; bumps ``row.hangs``) or
+        ``"recovery"`` (crash-recovery rollback/reconcile).  The routine
+        is **idempotent**: a second call on an already-clean region — a
+        watchdog kill racing a crash-recovery pass, say — returns early
+        without touching hardware or double-counting, so ``row.reclaims``
+        moves exactly once per actual reclaim.  An in-flight PCAP
+        transfer targeting the region is cancelled, and any open journal
+        entry for it is aborted (docs/RECOVERY.md).
+        Returns the old client's VM id (None if nothing was reclaimed).
         """
         port = self.port
         prr = self.prrs[prr_id]
         row = self.prr_table.row(prr_id)
         old = prr.client_vm
+        jentry = (self.journal.entry_for_prr(prr_id)
+                  if self.journal is not None else None)
+        if (old is None and row.client_vm is None and not prr.reconfiguring
+                and jentry is None):
+            return None             # already reclaimed — idempotent no-op
+        if prr.reconfiguring:
+            port.pcap_cancel(prr_id)
+            # The cancel's abort hook may already have closed the entry.
+            jentry = (self.journal.entry_for_prr(prr_id)
+                      if self.journal is not None else None)
+        if jentry is not None and jentry.op == OP_ALLOCATE:
+            self.journal.abort(jentry)
+        rec = None
+        if self.journal is not None:
+            rec = self.journal.reuse_or_begin(
+                OP_RECLAIM, client_vm=old, task_id=0, prr_id=prr_id)
+            self.journal.note_act(rec)
         port.code(0x500, MC.reclaim_save_regs)
         if old is not None:
             port.reg_group_save(old, prr)
@@ -262,15 +323,22 @@ class Allocator:
             if prr.irq_line is not None:
                 from ..gic.irqs import pl_irq
                 port.unregister_irq(old, pl_irq(prr.irq_line))
+        port.crashpoint("reclaim.pre_commit")
         port.ctl_write(prr_id, CTL_KILL, 1)
         port.ctl_write(prr_id, CTL_CLIENT, 0xFFFF_FFFF)
         port.ctl_write(prr_id, CTL_HWMMU_BASE, 0)
         port.ctl_write(prr_id, CTL_HWMMU_LIMIT, 0)
         row.client_vm = None
         row.task_name = None
-        row.hangs += 1
+        row.reclaims += 1
+        if reason == "watchdog":
+            row.hangs += 1
+            self.stats["watchdog_reclaims"] += 1
+        else:
+            self.stats["recovery_reclaims"] += 1
         port.touch(row.row_addr, write=True)
-        self.stats["watchdog_reclaims"] += 1
+        if rec is not None:
+            self.journal.commit(rec)
         port.code(0xA00, MC.status_return)
         return old
 
@@ -282,10 +350,17 @@ class Allocator:
         port = self.port
         port.code(0x000, MC.service_entry)
         entry = self.tasks.by_id(task_id) if task_id else None
+        jentry = None
+        if self.journal is not None:
+            jentry = self.journal.reuse_or_begin(
+                OP_RELEASE, client_vm=client_vm, task_id=task_id,
+                prr_id=None)
         released = None
         for row in self.prr_table.rows_of_client(client_vm):
             if entry is not None and row.task_name != entry.name:
                 continue
+            if jentry is not None:
+                self.journal.note_act(jentry)
             prr = self.prrs[row.prr_id]
             if port.iface_va_of(client_vm, row.prr_id) is not None:
                 port.unmap_iface(client_vm, row.prr_id)
@@ -298,6 +373,9 @@ class Allocator:
             row.client_vm = None
             port.touch(row.row_addr, write=True)
             released = row.prr_id
+        port.crashpoint("release.pre_commit")
+        if jentry is not None:
+            self.journal.commit(jentry)
         port.code(0xA00, MC.status_return)
         return AllocResult(HcStatus.SUCCESS if released is not None
                            else HcStatus.ERR_STATE, released)

@@ -1,0 +1,104 @@
+"""Runtime invariant checker for the hardware-task subsystem.
+
+Called by the supervisor after every manager restart (and freely from
+tests / the soak harness): walks the PRR controller, the manager's
+tables, the intent journal, guest page-table mappings and the kernel
+mailbox, and returns a list of human-readable violation strings — empty
+when the world is consistent.  docs/RECOVERY.md lists the invariants.
+"""
+
+from __future__ import annotations
+
+from ..fpga.prr import PrrStatus
+from .journal import OP_ALLOCATE
+
+__all__ = ["check_invariants"]
+
+
+def check_invariants(kernel) -> list[str]:
+    """Cross-check manager state against hardware ground truth."""
+    v: list[str] = []
+    machine = kernel.machine
+    mgr = kernel.manager_pd
+    service = mgr.runner if mgr is not None else None
+    alloc = getattr(service, "allocator", None)
+    journal = kernel.manager_journal
+    if alloc is None or journal is None:
+        return v
+
+    # I1: PRR-table ownership agrees with the controller's registers.
+    for prr in machine.prrs:
+        row = alloc.prr_table.row(prr.prr_id)
+        if row.client_vm != prr.client_vm:
+            v.append(f"prr{prr.prr_id}: table client {row.client_vm} != "
+                     f"controller client {prr.client_vm}")
+        # I2: the implemented-task column matches the resident core —
+        # except mid-operation (open journal entry) or mid-transfer.
+        if not prr.reconfiguring and journal.entry_for_prr(prr.prr_id) is None:
+            core_name = prr.core.name if prr.core is not None else None
+            if row.task_name != core_name:
+                v.append(f"prr{prr.prr_id}: table task {row.task_name!r} != "
+                         f"resident core {core_name!r}")
+
+    # I3: register-group exclusivity — each PRR interface page is mapped
+    # in at most one VM, and only in the VM that owns the region.
+    for prr in machine.prrs:
+        mappers = [vm_id for vm_id, pd in kernel.domains.items()
+                   if pd is not mgr and prr.prr_id in pd.prr_iface]
+        if len(mappers) > 1:
+            v.append(f"prr{prr.prr_id}: iface mapped in {len(mappers)} VMs "
+                     f"({sorted(mappers)})")
+        for vm_id in mappers:
+            if vm_id != prr.client_vm:
+                v.append(f"prr{prr.prr_id}: iface mapped in vm{vm_id} but "
+                         f"owned by {prr.client_vm}")
+
+    # I4: the PL-IRQ line map is a bijection with the controllers' lines.
+    for line, prr_id in alloc.irq_lines.items():
+        if machine.prrs[prr_id].irq_line != line:
+            v.append(f"irq line {line}: allocator says prr{prr_id}, "
+                     f"controller says {machine.prrs[prr_id].irq_line}")
+    for prr in machine.prrs:
+        if (prr.irq_line is not None
+                and alloc.irq_lines.get(prr.irq_line) != prr.prr_id):
+            v.append(f"prr{prr.prr_id}: line {prr.irq_line} missing from "
+                     f"allocator irq map")
+
+    # I5: open journal entries exist only for in-flight reconfigurations
+    # (an allocate stays ACT until its PCAP transfer lands or aborts).
+    for e in journal.open_entries():
+        in_flight = (e.op == OP_ALLOCATE and e.reconfig
+                     and e.prr_id is not None
+                     and machine.prrs[e.prr_id].reconfiguring)
+        if not in_flight:
+            v.append(f"journal seq {e.seq}: open {e.op} entry "
+                     f"(state {e.state}) with no in-flight reconfig")
+
+    # I6: journal accounting balances (nothing lost or double-closed).
+    if not journal.balanced():
+        v.append(f"journal unbalanced: {journal.stats} with "
+                 f"{len(journal.open_entries())} open")
+
+    # I7: no lost requests — every guest parked in a HC_HWTASK_* hypercall
+    # is queued, in flight, or already has its resume staged.
+    for vm_id, pd in kernel.domains.items():
+        if not pd.vcpu.vregs.get("_hwreq_wait"):
+            continue
+        queued = any(r.pd is pd for r in kernel.manager_queue)
+        cur = getattr(service, "current_request", None)
+        in_flight = cur is not None and cur.pd is pd
+        staged = "_deferred_exit" in pd.vcpu.vregs
+        if not (queued or in_flight or staged):
+            v.append(f"vm{vm_id}: parked in hwreq but request is neither "
+                     f"queued, in flight, nor completed")
+
+    # I8: a BUSY region always has someone to finish it (completion or
+    # watchdog event alive in the controller).
+    ctl = machine.prr_controller
+    for prr in machine.prrs:
+        if (prr.status == PrrStatus.BUSY
+                and prr.prr_id not in ctl._pending
+                and prr.prr_id not in ctl._watchdogs):
+            v.append(f"prr{prr.prr_id}: BUSY with no completion/watchdog "
+                     f"event pending")
+    return v

@@ -11,7 +11,8 @@ overhead Table III measures.
 
 from __future__ import annotations
 
-from ..common.errors import ConfigError
+from ..common.errors import DeviceError, ServiceCrashed
+from ..faults.plan import SERVICE_CRASH, SERVICE_HANG
 from ..fpga.prr import (
     Prr,
     REG_DST,
@@ -38,6 +39,9 @@ class ManagerService:
         self.pd = None
         self.allocator: Allocator | None = None
         self.requests_handled = 0
+        #: The request being handled right now (crash-recovery reads this
+        #: off the dead instance to bounce the in-flight requester).
+        self.current_request = None
         #: Ablation knob: wait for PCAP completion inside the request
         #: instead of returning the RECONFIG status (Section IV-E stage 6
         #: explicitly chooses *not* to do this, to overlap the latency).
@@ -54,7 +58,8 @@ class ManagerService:
             machine.pcap.transfer_cycles,
             row_base=L.MANAGER_DATA_VA + 0x1000)
         prr_table = PrrTable(machine.prrs, row_base=L.MANAGER_DATA_VA + 0x3000)
-        self.allocator = Allocator(self, task_table, prr_table, machine.prrs)
+        self.allocator = Allocator(self, task_table, prr_table, machine.prrs,
+                                   journal=kernel.manager_journal)
 
     def step(self, budget: int):
         kernel = self.kernel
@@ -62,6 +67,14 @@ class ManagerService:
         if req is None:
             return ExitIdle()
         while req is not None:
+            if self._consult_hang():
+                # The service wedges without draining its mailbox: put the
+                # request back and park.  The supervisor's per-request
+                # deadline detects the stall and restarts the PD.
+                kernel.manager_queue.insert(0, req)
+                return ExitIdle()
+            self.current_request = req
+            self.crashpoint("pickup")
             exec_start = kernel.sim.now
             # The mgr_exec span (Table III "HW Manager execution").
             with kernel.tracer.span("mgr_exec", cat="hwmgr", vm=req.pd.vm_id):
@@ -73,6 +86,7 @@ class ManagerService:
             # release): reconcile the per-VM PRR occupancy intervals.
             kernel.acct.sync_prr_occupancy(kernel.machine.prrs)
             kernel.manager_post_result(req, result)
+            self.current_request = None
             self.requests_handled += 1
             req = kernel.manager_take_request()
         return ExitIdle()
@@ -127,7 +141,40 @@ class ManagerService:
             k.tracer.mark("watchdog_reclaim", cat="fault", prr=prr_id,
                           vm=old if old is not None else 0)
             return (HcStatus.SUCCESS, prr_id, None)
-        raise ConfigError(f"unknown manager request kind {req.kind!r}")
+        raise DeviceError(f"unknown manager request kind {req.kind!r}")
+
+    # -- fault-site consults (untimed; no-ops without an injector) -----------------
+
+    def crashpoint(self, point: str) -> None:
+        """Die here iff a ``service.crash`` fault fires at this point.
+
+        A spec may target one point by name (``params={"point": ...}``);
+        non-matching consults then don't count as occurrences, so
+        ``after=N`` still indexes occurrences *of the targeted point*.
+        Suppressed while the supervisor is mid-restart (recovery itself
+        is not a crashable region in this model).
+        """
+        kernel = self.kernel
+        faults = kernel.faults
+        if faults is None or kernel.supervisor.in_restart:
+            return
+        spec = faults.plan.spec_for(SERVICE_CRASH)
+        if spec is None:
+            return
+        want = spec.params.get("point")
+        if want is not None and want != point:
+            return
+        if faults.fire(SERVICE_CRASH, point=point) is not None:
+            raise ServiceCrashed(point)
+
+    def _consult_hang(self) -> bool:
+        kernel = self.kernel
+        faults = kernel.faults
+        if faults is None or kernel.supervisor.in_restart:
+            return False
+        if faults.plan.spec_for(SERVICE_HANG) is None:
+            return False
+        return faults.fire(SERVICE_HANG) is not None
 
     # -- ManagerPort (timed environment hooks) -------------------------------------
 
@@ -203,6 +250,9 @@ class ManagerService:
                 cpu.read32(pcap_va + PCAP_STATUS)      # poll the DONE bit
                 if self.kernel.machine.pcap.busy:
                     self.kernel.sim.advance_to_next_event()
+
+    def pcap_cancel(self, prr_id: int) -> int | None:
+        return self.kernel.machine.pcap.cancel_transfer(prr_id)
 
     def iface_va_of(self, client_vm: int, prr_id: int) -> int | None:
         return self.kernel.domains[client_vm].prr_iface.get(prr_id)

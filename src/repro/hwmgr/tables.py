@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..common.errors import ConfigError
+from ..common.errors import DeviceError
 from ..fpga.bitstream import Bitstream, BitstreamStore
 from ..fpga.prr import Prr
 
@@ -39,6 +39,8 @@ class PrrRow:
     busy: bool = False
     #: Watchdog force-reclaims of this region (docs/FAULTS.md).
     hangs: int = 0
+    #: Total force-reclaims (watchdog + crash-recovery; docs/RECOVERY.md).
+    reclaims: int = 0
     row_addr: int = 0
 
 
@@ -62,7 +64,7 @@ class HardwareTaskTable:
             core = store.core(name)
             fits = tuple(p.prr_id for p in prrs if core.resources.fits_in(p.capacity))
             if not fits:
-                raise ConfigError(f"task {name} fits no PRR")
+                raise DeviceError(f"task {name} fits no PRR")
             bit = store.get(name)
             table.add(HwTaskEntry(
                 task_id=i + 1, name=name, bitstream=bit, prr_list=fits,
@@ -72,7 +74,7 @@ class HardwareTaskTable:
 
     def add(self, entry: HwTaskEntry) -> None:
         if entry.task_id in self._by_id:
-            raise ConfigError(f"duplicate task id {entry.task_id}")
+            raise DeviceError(f"duplicate task id {entry.task_id}")
         self._by_id[entry.task_id] = entry
         self._by_name[entry.name] = entry
 

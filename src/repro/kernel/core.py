@@ -19,10 +19,11 @@ from typing import Callable
 
 from ..common.errors import (
     ArchFault,
-    ConfigError,
+    DeviceError,
     GuestPanic,
     HypercallError,
     ReproError,
+    ServiceCrashed,
     SimulationError,
     UndefinedInstruction,
 )
@@ -30,6 +31,7 @@ from ..common.units import ms_to_cycles
 from ..cpu.modes import Mode
 from ..cpu.vfp import VFP_CONTEXT_WORDS
 from ..gic import gic as gicdev
+from ..hwmgr.journal import JOURNAL_OFF, OP_ALLOCATE, IntentJournal
 from ..gic.irqs import IRQ_PCAP_DONE, IRQ_PRIVATE_TIMER, SPURIOUS_IRQ, pl_line
 from ..machine import GIC_BASE, Machine
 from ..obs.accounting import VmAccounting
@@ -49,6 +51,7 @@ from .ivc import IVC_IRQ, IvcRouter
 from .memory import DACR_GUEST_KERNEL, DACR_GUEST_USER, DACR_HOST, KernelMemory
 from .pd import PdState, ProtectionDomain
 from .sched import Scheduler
+from .supervisor import ManagerSupervisor
 from .vcpu import Vcpu
 from .vgic import VGic
 
@@ -78,6 +81,14 @@ class KernelConfig:
     #: Services resume at the front of their circle (immediate dispatch);
     #: False = ablation where the manager waits its round-robin turn.
     service_resume_front: bool = True
+    #: Supervise the manager service: restart it on crash and on missed
+    #: request deadlines (docs/RECOVERY.md).  The deadline timer only
+    #: arms while a fault injector is attached, so fault-free runs stay
+    #: cycle-identical with this on.
+    supervise_manager: bool = True
+    #: Oldest outstanding manager request must be retired within this
+    #: budget or the supervisor declares the service hung.
+    manager_deadline_ms: float = 10.0
 
 
 @dataclass
@@ -132,6 +143,15 @@ class MiniNova:
         #: The Hardware Task Manager service PD + its request mailbox.
         self.manager_pd: ProtectionDomain | None = None
         self.manager_queue: list[_HwRequest] = []
+        #: Fault injector attachment point (set by FaultInjector.attach;
+        #: None = happy path, zero supervision events scheduled).
+        self.faults = None
+        #: Kernel-owned write-ahead intent journal for the manager; lives
+        #: logically in the manager's persistent data area, so it survives
+        #: a service restart (docs/RECOVERY.md).
+        self.manager_journal: IntentJournal | None = None
+        #: Health-checks the manager PD and drives crash recovery.
+        self.supervisor = ManagerSupervisor(self)
         #: Per-VM console transcript: (vm_id, line) in emission order.
         self.console_log: list[tuple[int, str]] = []
         self._console_bufs: dict[int, bytearray] = {}
@@ -174,6 +194,16 @@ class MiniNova:
         self.metrics.counter("recovery.watchdog_reclaims")
         self.metrics.counter("recovery.sw_fallbacks")
         self.metrics.histogram("recovery.latency_cycles")
+        # Manager supervision + crash recovery (docs/RECOVERY.md).
+        self.metrics.counter("supervisor.crashes")
+        self.metrics.counter("supervisor.restarts")
+        self.metrics.counter("supervisor.deadline_expiries")
+        self.metrics.counter("supervisor.invariant_violations")
+        self.metrics.histogram("supervisor.restart_cycles")
+        self.metrics.counter("recovery.bounced_requests")
+        self.metrics.counter("recovery.journal_rollbacks")
+        self.metrics.counter("recovery.journal_replays")
+        self.metrics.counter("recovery.reconcile_reclaims")
         # Accounting starts at boot time: every later cycle is attributed
         # to a context (kernel / guest / idle) until the books are read.
         self.acct.bind(self.sim.clock)
@@ -210,7 +240,7 @@ class MiniNova:
         """Create the Hardware Task Manager service PD (suspended; it is
         resumed — preempting guests — whenever a request arrives)."""
         if self.manager_pd is not None:
-            raise ConfigError("manager already attached")
+            raise DeviceError("manager already attached")
         vm_id = self._next_vm_id
         self._next_vm_id += 1
         phys_base = self.mem.guest_frames.alloc(4 << 20, align=1 << 20)
@@ -225,6 +255,16 @@ class MiniNova:
             phys_size=4 << 20, runner=runner, kobj_addr=kobj)
         self.domains[vm_id] = pd
         self.acct.register_vm(vm_id, "hw-task-manager")
+        # The intent journal outlives the service instance: it models the
+        # write-ahead log in the manager's persistent data area.
+        if self.manager_journal is None:
+            self.manager_journal = IntentJournal(
+                row_base=L.MANAGER_DATA_VA + JOURNAL_OFF)
+        # Journal close-out on PCAP completion/abort is kernel-side so it
+        # keeps working across manager restarts (the hooks look the
+        # current service instance up dynamically).
+        self.machine.pcap.on_done = self._manager_pcap_done
+        self.machine.pcap.on_abort = self._manager_pcap_abort
         runner.bind(self, pd)
         self.sched.add(pd, runnable=False)
         self.manager_pd = pd
@@ -243,7 +283,7 @@ class MiniNova:
         """Main dispatch loop; returns when the condition holds or nothing
         remains runnable and no events are pending."""
         if not self.booted:
-            raise ConfigError("boot() first")
+            raise DeviceError("boot() first")
         deadline = until_cycles
         for _ in range(max_iterations):
             if deadline is not None and self.sim.now >= deadline:
@@ -269,7 +309,18 @@ class MiniNova:
             # Guest privilege view is constant within one chunk: it only
             # flips in kernel context (GUEST_MODE_SET, vIRQ injection).
             ctx = self.acct.guest_push(pd.vm_id, pd.vcpu.guest_kernel_mode)
-            exit_ = pd.runner.step(budget)
+            try:
+                exit_ = pd.runner.step(budget)
+            except ServiceCrashed as crash:
+                self.acct.pop(ctx)
+                self.cpu.set_ledger(ledger)
+                used = self.sim.now - start
+                self.sched.charge(pd, used)
+                self._consume_vtime(pd, used)
+                if pd is not self.manager_pd:
+                    raise        # only the manager service is restartable
+                self.supervisor.handle_crash(pd, crash)
+                continue
             self.acct.pop(ctx)
             self.cpu.set_ledger(ledger)
             used = self.sim.now - start
@@ -597,7 +648,17 @@ class MiniNova:
             # other VM keep running (never a host traceback).
             self.kill_vm(pd, reason="unhandled_fault")
             return
-        handler(fault)
+        try:
+            handler(fault)
+        except SimulationError:
+            raise                     # engine corruption: not a guest bug
+        except ReproError:
+            # Double fault: the guest faulted again while absorbing the
+            # first one (e.g. a rogue GUEST_MODE_SET desynced its own
+            # DACR view, so its fault handler's code is unreachable).
+            # Beyond saving — same containment rule as above.
+            self.metrics.counter("kernel.vm_double_faults").inc()
+            self.kill_vm(pd, reason="double_fault")
 
     def kill_vm(self, pd: ProtectionDomain, *, reason: str) -> None:
         """Terminate a misbehaving VM for good (state -> DEAD)."""
@@ -957,7 +1018,11 @@ class MiniNova:
                           front=self.config.service_resume_front)
         # The requester's vCPU is parked inside the hypercall until the
         # manager posts the result — it must not be scheduled meanwhile.
+        # The marker lets the invariant checker prove no request is lost
+        # across a manager restart (docs/RECOVERY.md).
         self.sched.suspend(pd)
+        pd.vcpu.vregs["_hwreq_wait"] = True
+        self.supervisor.note_enqueue()
         self.tracer.mark("hwreq_queued", cat="hwmgr", vm=pd.vm_id)
         return True
 
@@ -1075,8 +1140,96 @@ class MiniNova:
         self.manager_queue.append(_HwRequest(
             "watchdog", pd if pd is not None else self.manager_pd, None,
             task_id=prr_id))
+        self.supervisor.note_enqueue()
         self.sched.resume(self.manager_pd,
                           front=self.config.service_resume_front)
+
+    def _manager_pcap_done(self, prr_id: int, task: str) -> None:
+        """PCAP completion: commit the open reconfiguring-allocate entry."""
+        j = self.manager_journal
+        if j is None:
+            return
+        e = j.entry_for_prr(prr_id)
+        if e is not None and e.op == OP_ALLOCATE and e.reconfig:
+            j.commit(e)
+
+    def _manager_pcap_abort(self, prr_id: int) -> None:
+        """PCAP gave up / was cancelled: abort the entry, clear the row.
+
+        The region lands in ERR_RECONFIG hosting nothing; the manager's
+        table must say so too or the next invariant check flags it.
+        """
+        j = self.manager_journal
+        if j is not None:
+            e = j.entry_for_prr(prr_id)
+            if e is not None and e.op == OP_ALLOCATE:
+                j.abort(e)
+        mgr = self.manager_pd
+        alloc = getattr(mgr.runner, "allocator", None) if mgr else None
+        if alloc is not None:
+            row = alloc.prr_table.row(prr_id)
+            row.task_name = None
+            row.busy = False
+
+    def restart_manager(self, *, reason: str):
+        """Tear down the (crashed or hung) manager PD and respawn it.
+
+        The new instance reuses the dead one's address space, data area
+        and vm_id — that is what makes the intent journal a write-ahead
+        log: its backing frames survive.  In-flight and queued *guest*
+        requests are bounced with MANAGER_RESTARTING (the guest API
+        retries transparently); kernel-originated watchdog requests are
+        re-queued, since nobody is parked on them and the hung region
+        still needs reclaiming.  Returns the fresh service runner —
+        the caller (the supervisor) drives journal recovery next.
+        """
+        old_pd = self.manager_pd
+        if old_pd is None:
+            raise DeviceError("no manager to restart")
+        old_runner = old_pd.runner
+        self.sched.remove(old_pd)              # state -> DEAD
+        if self.current is old_pd:
+            self.current = None
+            self.machine.private_timer.cancel()
+        # Sort the mailbox: bounce guest requests, keep kernel ones.  The
+        # request the dead instance was executing is bounced too — its
+        # effects are rolled back or replayed from the journal, so letting
+        # the guest retry can never double-apply it.
+        bounced: list[_HwRequest] = []
+        inflight = getattr(old_runner, "current_request", None)
+        if inflight is not None and inflight.exit_ is not None:
+            bounced.append(inflight)
+        requeue: list[_HwRequest] = []
+        for req in self.manager_queue:
+            (requeue if req.exit_ is None else bounced).append(req)
+        self.manager_queue = []
+        # Respawn: same address space, fresh vCPU/vGIC/runner state.
+        new_runner = type(old_runner)(
+            block_on_pcap=getattr(old_runner, "block_on_pcap", False))
+        pd = ProtectionDomain(
+            vm_id=old_pd.vm_id, name=old_pd.name, priority=old_pd.priority,
+            vcpu=Vcpu(vm_id=old_pd.vm_id, save_area=old_pd.kobj_addr + 0x40),
+            vgic=VGic(vm_id=old_pd.vm_id, acct=self.acct),
+            page_table=old_pd.page_table, asid=old_pd.asid,
+            phys_base=old_pd.phys_base, phys_size=old_pd.phys_size,
+            runner=new_runner, kobj_addr=old_pd.kobj_addr)
+        self.domains[old_pd.vm_id] = pd
+        self.manager_pd = pd
+        new_runner.bind(self, pd)
+        self.sched.add(pd, runnable=False)
+        # Modelled restart cost: PD teardown + respawn through the same
+        # kernel paths a create would take (restarts only ever happen in
+        # fault runs, so this cannot perturb the benchmarks).
+        self.cpu.code(self.syms.scheduler, C.scheduler_pick)
+        self.cpu.code(self.syms.vm_switch, C.vm_switch_fixed)
+        for req in bounced:
+            self.metrics.counter("recovery.bounced_requests").inc()
+            self.manager_post_result(
+                req, (HcStatus.MANAGER_RESTARTING, None, None))
+        self.manager_queue.extend(requeue)
+        if self.manager_queue:
+            self.sched.resume(pd, front=self.config.service_resume_front)
+        return new_runner
 
     def manager_take_request(self) -> _HwRequest | None:
         """Called by the manager runner to pop its mailbox."""
@@ -1088,8 +1241,14 @@ class MiniNova:
         ``result`` is the (status, prr_id, irq_id) triple the guest API
         expects in r0-r2.
         """
+        self.supervisor.note_progress()
         if req.exit_ is None:
             return        # kernel-originated (watchdog): nobody to resume
+        req.pd.vcpu.vregs.pop("_hwreq_wait", None)
+        # A requester killed while parked must not be resurrected by its
+        # own result (or by a restart bounce): drop the reply.
+        if req.pd.state is PdState.DEAD:
+            return
         req.exit_.result = result
         req.pd.vcpu.vregs["_deferred_exit"] = req.exit_
         self.sched.resume(req.pd, front=True)   # unpark the requester

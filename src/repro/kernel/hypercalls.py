@@ -65,12 +65,13 @@ class HcStatus(IntEnum):
     ERR_PERM = 4
     ERR_NOTASK = 5
     ERR_STATE = 6
+    MANAGER_RESTARTING = 7   # manager PD is being restarted; retry shortly
 
 
-#: Statuses that mean the request failed outright.  BUSY and RECONFIG are
-#: transient conditions a client may retry or wait out; these are not
-#: (docs/FAULTS.md — the guest API maps aborted reconfigurations and
-#: reclaimed regions onto ERR_STATE).
+#: Statuses that mean the request failed outright.  BUSY, RECONFIG and
+#: MANAGER_RESTARTING are transient conditions a client may retry or wait
+#: out; these are not (docs/FAULTS.md — the guest API maps aborted
+#: reconfigurations and reclaimed regions onto ERR_STATE).
 ERROR_STATUSES = frozenset({HcStatus.ERR_ARG, HcStatus.ERR_PERM,
                             HcStatus.ERR_NOTASK, HcStatus.ERR_STATE})
 

@@ -15,7 +15,7 @@ Responsibilities (Section III-C):
 
 from __future__ import annotations
 
-from ..common.errors import ConfigError
+from ..common.errors import DeviceError
 from ..machine import GIC_BASE, PCAP_BASE, UART_BASE, Machine
 from ..mem.descriptors import AP, DomainType, PAGE_SIZE, SECTION_SIZE, dacr_set
 from ..mem.ptables import PageTable
@@ -72,7 +72,7 @@ class KernelMemory:
 
     def alloc_asid(self) -> int:
         if self._next_asid > 255:
-            raise ConfigError("out of ASIDs")
+            raise DeviceError("out of ASIDs")
         asid, self._next_asid = self._next_asid, self._next_asid + 1
         return asid
 
@@ -125,7 +125,7 @@ class KernelMemory:
     def map_prr_iface(self, pd: ProtectionDomain, prr_id: int, va: int) -> None:
         """Grant ``pd`` the PRR's register group at guest VA ``va``."""
         if prr_id in pd.prr_iface:
-            raise ConfigError(f"PRR{prr_id} already mapped in {pd.name}")
+            raise DeviceError(f"PRR{prr_id} already mapped in {pd.name}")
         pa = self.machine.prr_reg_page_paddr(prr_id)
         pd.page_table.map_page(va, pa, ap=AP.FULL, domain=L.DOMAIN_GU)
         pd.prr_iface[prr_id] = va
@@ -135,7 +135,7 @@ class KernelMemory:
         also flush the TLB entry (timed, via the kernel path)."""
         va = pd.prr_iface.pop(prr_id, None)
         if va is None:
-            raise ConfigError(f"PRR{prr_id} not mapped in {pd.name}")
+            raise DeviceError(f"PRR{prr_id} not mapped in {pd.name}")
         pd.page_table.unmap_page(va)
         self.mem.mmu.tlb.flush_va(va >> 12, pd.asid)
         return va

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import IntEnum
 
-from ..common.errors import ConfigError
+from ..common.errors import DeviceError
 
 L1_ENTRIES = 4096
 L2_ENTRIES = 256
@@ -64,9 +64,9 @@ def l2_index(vaddr: int) -> int:
 def encode_l1_section(paddr: int, *, ap: AP, domain: int, ng: bool = True) -> int:
     """1 MB section descriptor. ``ng`` = non-global (ASID-tagged in TLB)."""
     if paddr & (SECTION_SIZE - 1):
-        raise ConfigError(f"section base {paddr:#x} not 1MB aligned")
+        raise DeviceError(f"section base {paddr:#x} not 1MB aligned")
     if not 0 <= domain < 16:
-        raise ConfigError(f"domain {domain} out of range")
+        raise DeviceError(f"domain {domain} out of range")
     return (paddr & 0xFFF0_0000) | (int(ng) << 17) | (int(ap) << 10) \
         | ((domain & 0xF) << 5) | int(L1Type.SECTION)
 
@@ -74,16 +74,16 @@ def encode_l1_section(paddr: int, *, ap: AP, domain: int, ng: bool = True) -> in
 def encode_l1_page_table(l2_base: int, *, domain: int) -> int:
     """Pointer to an L2 table (which must be 1 KB aligned)."""
     if l2_base & 0x3FF:
-        raise ConfigError(f"L2 table base {l2_base:#x} not 1KB aligned")
+        raise DeviceError(f"L2 table base {l2_base:#x} not 1KB aligned")
     if not 0 <= domain < 16:
-        raise ConfigError(f"domain {domain} out of range")
+        raise DeviceError(f"domain {domain} out of range")
     return (l2_base & 0xFFFF_FC00) | ((domain & 0xF) << 5) | int(L1Type.PAGE_TABLE)
 
 
 def encode_l2_small_page(paddr: int, *, ap: AP, ng: bool = True) -> int:
     """4 KB small-page descriptor."""
     if paddr & (PAGE_SIZE - 1):
-        raise ConfigError(f"page base {paddr:#x} not 4KB aligned")
+        raise DeviceError(f"page base {paddr:#x} not 4KB aligned")
     return (paddr & 0xFFFF_F000) | (int(ng) << 11) | (int(ap) << 4) | 0b10
 
 
@@ -145,7 +145,7 @@ def decode_l2(word: int) -> L2Entry:
 def dacr_set(dacr: int, domain: int, dtype: DomainType) -> int:
     """Return ``dacr`` with ``domain``'s 2-bit field replaced."""
     if not 0 <= domain < 16:
-        raise ConfigError(f"domain {domain} out of range")
+        raise DeviceError(f"domain {domain} out of range")
     shift = domain * 2
     return (dacr & ~(0b11 << shift)) | (int(dtype) << shift)
 

@@ -9,7 +9,7 @@ addresses through the cache model); this module is purely functional.
 
 from __future__ import annotations
 
-from ..common.errors import ConfigError
+from ..common.errors import DeviceError
 from ..common.units import is_aligned
 from .descriptors import (
     AP,
@@ -51,20 +51,20 @@ class PageTable:
                     ng: bool = True) -> None:
         """Install a 1 MB section mapping."""
         if not is_aligned(va, SECTION_SIZE):
-            raise ConfigError(f"section VA {va:#x} not 1MB aligned")
+            raise DeviceError(f"section VA {va:#x} not 1MB aligned")
         self._write_l1(l1_index(va), encode_l1_section(pa, ap=ap, domain=domain, ng=ng))
 
     def map_page(self, va: int, pa: int, *, ap: AP, domain: int,
                  ng: bool = True) -> None:
         """Install a 4 KB small-page mapping (allocating an L2 table if needed)."""
         if not is_aligned(va, PAGE_SIZE):
-            raise ConfigError(f"page VA {va:#x} not 4KB aligned")
+            raise DeviceError(f"page VA {va:#x} not 4KB aligned")
         idx1 = l1_index(va)
         l2_base = self._l2_tables.get(idx1)
         if l2_base is None:
             current = decode_l1(self.bus.read32(self.l1_base + idx1 * 4))
             if current.kind == L1Type.SECTION:
-                raise ConfigError(
+                raise DeviceError(
                     f"{self.name}: VA {va:#x} already covered by a section")
             l2_base = self.frames.alloc(L2_TABLE_BYTES, align=1024)
             for i in range(0, L2_TABLE_BYTES, 4):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.errors import ConfigError
+from repro.common.errors import DeviceError
 from repro.common.params import (
     CacheParams,
     CpuTiming,
@@ -26,16 +26,16 @@ def test_cache_sets_computed():
 
 
 def test_cache_params_validation():
-    with pytest.raises(ConfigError):
+    with pytest.raises(DeviceError):
         CacheParams(size=1000, ways=3, line=32)   # not divisible
-    with pytest.raises(ConfigError):
+    with pytest.raises(DeviceError):
         CacheParams(size=32 * 1024, ways=4, line=33)  # non-pow2 line
 
 
 def test_tlb_params():
     t = TlbParams(entries=128, ways=2)
     assert t.sets == 64
-    with pytest.raises(ConfigError):
+    with pytest.raises(DeviceError):
         TlbParams(entries=127, ways=2)
 
 

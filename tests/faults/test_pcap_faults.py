@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.errors import ConfigError, DeviceBusy, DeviceError
+from repro.common.errors import DeviceBusy, DeviceError
 from repro.faults.inject import FaultInjector
 from repro.faults.plan import (
     BITSTREAM_CORRUPT,
@@ -33,12 +33,15 @@ def run_to_quiescence(machine, cap=500_000_000):
 
 
 def test_device_busy_hierarchy(machine):
-    """DeviceBusy is a DeviceError and (deprecation alias) a ConfigError."""
+    """DeviceBusy is a DeviceError; ConfigError survives only as an alias."""
     bit = machine.bitstreams.get("fft1024")
     machine.pcap.start_transfer(bit, 0)
     with pytest.raises(DeviceBusy):
         machine.pcap.start_transfer(machine.bitstreams.get("qam4"), 1)
     assert issubclass(DeviceBusy, DeviceError)
+    with pytest.warns(DeprecationWarning):
+        from repro.common.errors import ConfigError
+    assert ConfigError is DeviceError
     assert issubclass(DeviceBusy, ConfigError)
 
 

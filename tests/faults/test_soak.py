@@ -1,0 +1,26 @@
+"""Soak harness: deterministic, and clean over a small crash budget."""
+
+from repro.faults.soak import run_soak
+
+
+def test_small_soak_is_clean_and_deterministic():
+    a = run_soak(seed=11, crashes=2, max_runs=4)
+    b = run_soak(seed=11, crashes=2, max_runs=4)
+    assert a == b                       # byte-identical run sequence
+    assert a["ok"]
+    assert a["reached_target"]
+    assert a["totals"]["invariant_violations"] == 0
+    assert a["totals"]["faults_fired"] >= 2
+    for run in a["runs"]:
+        assert run["ok"], run
+
+
+def test_soak_payload_shape():
+    p = run_soak(seed=11, crashes=1, max_runs=2)
+    assert set(p) == {"seed", "crash_target", "runs", "totals",
+                      "violations", "reached_target", "ok"}
+    r = p["runs"][0]
+    for key in ("run", "scenario", "mode", "after", "fired", "restarts",
+                "bounced", "rollbacks", "replays", "reconciles", "checks",
+                "ok"):
+        assert key in r

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.errors import ConfigError
+from repro.common.errors import DeviceError
 from repro.fpga.pcap import PCAP_LEN, PCAP_SRC, PCAP_STATUS
 from repro.gic.irqs import IRQ_PCAP_DONE
 
@@ -29,7 +29,7 @@ def test_install_idempotent(machine):
 
 
 def test_unknown_task_raises(machine):
-    with pytest.raises(ConfigError):
+    with pytest.raises(DeviceError):
         machine.bitstreams.get("fft123456")
 
 
@@ -61,14 +61,14 @@ def test_transfer_configures_prr_and_raises_irq(machine):
 def test_second_transfer_while_busy_rejected(machine):
     bit = machine.bitstreams.get("fft1024")
     machine.pcap.start_transfer(bit, 0)
-    with pytest.raises(ConfigError):
+    with pytest.raises(DeviceError):
         machine.pcap.start_transfer(machine.bitstreams.get("qam4"), 1)
 
 
 def test_reconfig_into_too_small_prr_rejected(machine):
     bit = machine.bitstreams.get("fft8192")
     machine.pcap.start_transfer(bit, 3)          # PRR3 is small
-    with pytest.raises(ConfigError):
+    with pytest.raises(DeviceError):
         machine.sim.advance_to_next_event()
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.errors import ConfigError
+from repro.common.errors import DeviceError
 from repro.gic import gic as G
 from repro.gic.gic import Gic
 from repro.gic.irqs import SPURIOUS_IRQ, pl_irq, pl_line
@@ -74,9 +74,9 @@ def test_distributor_off_blocks(gic):
 
 
 def test_bad_irq_id(gic):
-    with pytest.raises(ConfigError):
+    with pytest.raises(DeviceError):
         gic.assert_irq(96)
-    with pytest.raises(ConfigError):
+    with pytest.raises(DeviceError):
         gic.set_enable(-1, True)
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.errors import ConfigError
+from repro.common.errors import DeviceError
 from repro.common.units import ms_to_cycles
 from repro.guest import layout_guest as GL
 from repro.guest.actions import Compute, Delay, Finish, HwRequest, Hypercall
@@ -22,7 +22,7 @@ def native(small_machine):
 
 def test_run_requires_boot(small_machine):
     sys_ = NativeSystem(small_machine, Ucos("x"))
-    with pytest.raises(ConfigError):
+    with pytest.raises(DeviceError):
         sys_.run(until_cycles=100)
 
 

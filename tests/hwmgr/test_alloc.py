@@ -66,6 +66,13 @@ class FakePort:
     def unregister_irq(self, vm, irq):
         self.calls.append(("irq-", vm, irq))
 
+    def crashpoint(self, point):
+        pass
+
+    def pcap_cancel(self, prr_id):
+        self.calls.append(("pcap_cancel", prr_id))
+        return None
+
     def pcap_available(self):
         return not self.pcap_busy
 

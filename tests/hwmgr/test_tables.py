@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.errors import ConfigError
+from repro.common.errors import DeviceError
 from repro.hwmgr.tables import HardwareTaskTable, HwTaskEntry, PrrTable
 
 
@@ -35,7 +35,7 @@ def test_duplicate_id_rejected(machine):
                     bitstream=machine.bitstreams.get("qam4"),
                     prr_list=(0,), reconfig_cycles=1)
     t.add(e)
-    with pytest.raises(ConfigError):
+    with pytest.raises(DeviceError):
         t.add(HwTaskEntry(task_id=1, name="y",
                           bitstream=machine.bitstreams.get("qam16"),
                           prr_list=(0,), reconfig_cycles=1))
@@ -44,7 +44,7 @@ def test_duplicate_id_rejected(machine):
 def test_unfittable_task_rejected(machine):
     machine.prrs[0].capacity = machine.prrs[2].capacity  # shrink big PRRs
     machine.prrs[1].capacity = machine.prrs[2].capacity
-    with pytest.raises(ConfigError):
+    with pytest.raises(DeviceError):
         HardwareTaskTable.build(machine.bitstreams, machine.prrs,
                                 machine.pcap.transfer_cycles)
 

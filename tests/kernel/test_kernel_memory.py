@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.errors import ConfigError, DataAbort
+from repro.common.errors import DeviceError, DataAbort
 from repro.kernel import layout as L
 from repro.kernel.core import MiniNova
 from repro.kernel.memory import DACR_HOST, KernelMemory
@@ -77,14 +77,14 @@ def test_map_unmap_prr_iface_cycle(env):
     pa, _ = machine.mem.mmu.translate(va, privileged=False, write=True)
     assert pa == machine.prr_reg_page_paddr(1)
     # Double map rejected.
-    with pytest.raises(ConfigError):
+    with pytest.raises(DeviceError):
         k.kmem.map_prr_iface(pd, 1, va + 0x1000)
     # Unmap returns the va and kills the translation (incl. TLB entry).
     got_va = k.kmem.unmap_prr_iface(pd, 1)
     assert got_va == va
     with pytest.raises(DataAbort):
         machine.mem.mmu.translate(va, privileged=False, write=False)
-    with pytest.raises(ConfigError):
+    with pytest.raises(DeviceError):
         k.kmem.unmap_prr_iface(pd, 1)
 
 
@@ -118,7 +118,7 @@ def test_asid_exhaustion(env):
     _, k = env
     km = k.kmem
     km._next_asid = 256
-    with pytest.raises(ConfigError):
+    with pytest.raises(DeviceError):
         km.alloc_asid()
 
 

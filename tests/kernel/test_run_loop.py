@@ -122,9 +122,9 @@ def test_shutdown_removes_vm(kernel):
 
 
 def test_run_requires_boot(small_machine):
-    from repro.common.errors import ConfigError
+    from repro.common.errors import DeviceError
     k = MiniNova(small_machine)
-    with pytest.raises(ConfigError):
+    with pytest.raises(DeviceError):
         k.run(until_cycles=100)
 
 

@@ -1,4 +1,4 @@
-"""The ``repro.kernel.trace`` shim: deprecation warning + identical objects."""
+"""The ``repro.kernel.trace`` shim is gone: the import must fail cleanly."""
 
 from __future__ import annotations
 
@@ -7,38 +7,23 @@ import sys
 
 import pytest
 
-import repro.obs.trace as obs_trace
 
-
-def _fresh_import():
-    """Import the shim as if for the first time (module-level warnings
-    fire once per interpreter, so drop any cached module first)."""
+def test_shim_import_fails_cleanly():
+    """The deprecated path raises ModuleNotFoundError, not something odd
+    (e.g. a partially-initialized package or an AttributeError)."""
     sys.modules.pop("repro.kernel.trace", None)
-    return importlib.import_module("repro.kernel.trace")
+    with pytest.raises(ModuleNotFoundError, match="repro.kernel.trace"):
+        importlib.import_module("repro.kernel.trace")
 
 
-def test_import_emits_deprecation_warning():
-    with pytest.warns(DeprecationWarning, match="repro.obs"):
-        _fresh_import()
+def test_kernel_package_still_imports():
+    """Removing the shim must not break the package it lived in."""
+    kernel = importlib.import_module("repro.kernel")
+    assert hasattr(kernel, "MiniNova")
 
 
-def test_shim_reexports_the_same_objects():
-    with pytest.warns(DeprecationWarning):
-        shim = _fresh_import()
-    assert shim.Tracer is obs_trace.Tracer
-    assert shim.TraceEvent is obs_trace.TraceEvent
-    assert shim.EventRing is obs_trace.EventRing
-    assert shim.CATEGORIES is obs_trace.CATEGORIES
-    assert shim.DEFAULT_RING_CAPACITY == obs_trace.DEFAULT_RING_CAPACITY
-
-
-def test_no_in_tree_module_imports_the_shim():
-    """In-tree code must use repro.obs directly — importing the whole
-    package tree must not pull the deprecated path in."""
-    for name in list(sys.modules):
-        if name.startswith("repro.kernel.trace"):
-            del sys.modules[name]
-    importlib.import_module("repro.kernel")
-    importlib.import_module("repro.eval.report")
-    importlib.import_module("repro.guest.ports.native")
-    assert "repro.kernel.trace" not in sys.modules
+def test_obs_trace_is_the_canonical_home():
+    obs_trace = importlib.import_module("repro.obs.trace")
+    for name in ("Tracer", "TraceEvent", "EventRing", "CATEGORIES",
+                 "DEFAULT_RING_CAPACITY"):
+        assert hasattr(obs_trace, name)

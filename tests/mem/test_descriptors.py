@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.common.errors import ConfigError
+from repro.common.errors import DeviceError
 from repro.mem.descriptors import (
     AP,
     DomainType,
@@ -53,16 +53,16 @@ def test_fault_entries_decode_invalid():
 
 
 def test_alignment_enforced():
-    with pytest.raises(ConfigError):
+    with pytest.raises(DeviceError):
         encode_l1_section(0x1234, ap=AP.FULL, domain=0)
-    with pytest.raises(ConfigError):
+    with pytest.raises(DeviceError):
         encode_l1_page_table(0x123, domain=0)
-    with pytest.raises(ConfigError):
+    with pytest.raises(DeviceError):
         encode_l2_small_page(0x123, ap=AP.FULL)
 
 
 def test_domain_range_enforced():
-    with pytest.raises(ConfigError):
+    with pytest.raises(DeviceError):
         encode_l1_section(0, ap=AP.FULL, domain=16)
 
 

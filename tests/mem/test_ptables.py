@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.errors import ConfigError
+from repro.common.errors import DeviceError
 from repro.mem.descriptors import (
     AP,
     L1Type,
@@ -75,14 +75,14 @@ def test_remap_page_overwrites(pt, memsys):
 
 def test_page_over_section_rejected(pt):
     pt.map_section(0x4010_0000, 0x0010_0000, ap=AP.FULL, domain=0)
-    with pytest.raises(ConfigError):
+    with pytest.raises(DeviceError):
         pt.map_page(0x4010_0000, 0x0020_0000, ap=AP.FULL, domain=0)
 
 
 def test_misaligned_rejected(pt):
-    with pytest.raises(ConfigError):
+    with pytest.raises(DeviceError):
         pt.map_section(0x4010_0400, 0, ap=AP.FULL, domain=0)
-    with pytest.raises(ConfigError):
+    with pytest.raises(DeviceError):
         pt.map_page(0x8000_0404, 0, ap=AP.FULL, domain=0)
 
 

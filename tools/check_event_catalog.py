@@ -64,7 +64,7 @@ def events_in_code() -> dict[str, set[str]]:
 
     for path in sorted(SRC.rglob("*.py")):
         rel = path.relative_to(SRC).as_posix()
-        if rel.startswith("obs/") or rel == "kernel/trace.py":
+        if rel.startswith("obs/"):
             continue  # the tracing layer itself, not an instrumentation site
         text = path.read_text()
         for rx in (MARK_RE, MARK_AT_RE, ANNOT_RE):
