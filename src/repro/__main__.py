@@ -19,7 +19,8 @@ Commands:
   See docs/FAULTS.md)
 * ``soak``     — run the fault matrix while crashing/hanging the Hardware
   Task Manager at seeded points, asserting the recovery invariants after
-  every run (``--crashes N`` sets the fault budget; docs/RECOVERY.md)
+  every run (``--crashes N`` sets the fault budget; ``--vm-kills N``
+  runs the VM crash/restore soak instead; docs/RECOVERY.md)
 """
 
 from __future__ import annotations
@@ -151,10 +152,14 @@ def cmd_faults(args: argparse.Namespace) -> int:
 def cmd_soak(args: argparse.Namespace) -> int:
     import json
 
-    from .faults.soak import run_soak
+    from .faults.soak import run_soak, run_vm_soak
 
-    payload = run_soak(seed=args.seed, crashes=args.crashes,
-                       max_runs=args.max_runs)
+    if args.vm_kills is not None:
+        payload = run_vm_soak(seed=args.seed, kills=args.vm_kills,
+                              max_runs=args.max_runs)
+    else:
+        payload = run_soak(seed=args.seed, crashes=args.crashes,
+                           max_runs=args.max_runs)
     text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
     if args.out:
         try:
@@ -167,12 +172,18 @@ def cmd_soak(args: argparse.Namespace) -> int:
     else:
         sys.stdout.write(text)
     t = payload["totals"]
-    print(f"soak: {t['runs']} runs, {t['faults_fired']} manager faults, "
-          f"{t['restarts']} restarts, "
-          f"{t['invariant_violations']} invariant violations",
-          file=sys.stderr)
+    if args.vm_kills is not None:
+        print(f"vm-soak: {t['runs']} runs, {t['vms_killed']} VMs killed, "
+              f"{t['restarts']} restarts, {t['halts']} halts, "
+              f"{t['invariant_violations']} invariant violations",
+              file=sys.stderr)
+    else:
+        print(f"soak: {t['runs']} runs, {t['faults_fired']} manager faults, "
+              f"{t['restarts']} restarts, "
+              f"{t['invariant_violations']} invariant violations",
+              file=sys.stderr)
     if not payload["ok"]:
-        print("SOAK: invariant violations or unreached crash target",
+        print("SOAK: invariant violations or unreached fault target",
               file=sys.stderr)
     return 0 if payload["ok"] else 1
 
@@ -261,8 +272,12 @@ def main(argv: list[str] | None = None) -> int:
     p_soak.add_argument("--crashes", type=int, default=100,
                         help="run until this many manager faults fired "
                              "(default: 100)")
+    p_soak.add_argument("--vm-kills", type=int, default=None, metavar="N",
+                        help="run the VM crash/restore soak instead: kill "
+                             "guest VMs at seeded points until N kills fired "
+                             "(docs/RECOVERY.md §9)")
     p_soak.add_argument("--max-runs", type=int, default=None,
-                        help="hard cap on scenario runs (default: 4x crashes)")
+                        help="hard cap on scenario runs (default: 4x faults)")
     p_soak.add_argument("--out", metavar="FILE", default=None,
                         help="write the JSON result to FILE instead of stdout")
     p_soak.set_defaults(fn=cmd_soak)

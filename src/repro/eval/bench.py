@@ -106,6 +106,28 @@ def run_bench(name: str = "paper", *, guests: int | None = None,
             "completions": sc.total_completions(),
         },
         "series": {n: s.as_dict() for n, s in sorted(series.items())},
+        # VM lifecycle accounting (docs/RECOVERY.md §9).  All-zero in
+        # fault-free profiles — the lifecycle schedules nothing unless a
+        # VM dies or a checkpoint period is armed, so these rows prove
+        # the bench ran clean (and diff against a kill-plan bench).
+        "vm_lifecycle": {
+            "checkpoints": k.metrics.total("vm.lifecycle.checkpoints"),
+            "restarts": k.metrics.total("vm.lifecycle.restarts"),
+            "restores": k.metrics.total("vm.lifecycle.restores"),
+            "halts": k.metrics.total("vm.lifecycle.halts"),
+            "virqs_replayed": k.metrics.total("vm.lifecycle.virqs_replayed"),
+            "virqs_dropped": k.metrics.total("vm.lifecycle.virqs_dropped"),
+            "virqs_dead_epoch": k.metrics.total(
+                "vm.lifecycle.virqs_dead_epoch"),
+            "client_reclaims": k.metrics.total(
+                "vm.lifecycle.client_reclaims"),
+            "checkpoint_cycles": SeriesSummary.from_histogram(
+                k.metrics.histogram("vm.lifecycle.checkpoint_cycles"))
+            .as_dict(),
+            "restore_cycles": SeriesSummary.from_histogram(
+                k.metrics.histogram("vm.lifecycle.restore_cycles"))
+            .as_dict(),
+        },
         # Fault/recovery accounting (docs/FAULTS.md).  All-zero in the
         # default healthy-fabric profiles — the counters exist so a
         # fault-plan bench can be diffed against a healthy baseline.

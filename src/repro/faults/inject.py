@@ -17,7 +17,7 @@ interrupts), so the injector schedules them itself at attach time.
 from __future__ import annotations
 
 from ..gic.irqs import pl_irq
-from .plan import FaultPlan, FaultSpec, PLIRQ_STORM
+from .plan import FaultPlan, FaultSpec, PLIRQ_STORM, VM_KILL
 
 
 class FaultInjector:
@@ -26,6 +26,7 @@ class FaultInjector:
     def __init__(self, plan: FaultPlan) -> None:
         self.plan = plan
         self.machine = None
+        self.kernel = None
         self._tracer = None
         self._metrics = None
 
@@ -37,10 +38,12 @@ class FaultInjector:
         machine.pcap.faults = self
         machine.prr_controller.faults = self
         if kernel is not None:
+            self.kernel = kernel
             kernel.faults = self
             self._tracer = kernel.tracer
             self._metrics = kernel.metrics
         self._schedule_storms(machine)
+        self._schedule_vm_kills(machine)
 
     def attach_obs(self, tracer=None, metrics=None) -> None:
         """Wire observability directly (native / kernel-less scenarios)."""
@@ -97,3 +100,57 @@ class FaultInjector:
         for i in range(count):
             sim.schedule(i * spacing, gic.assert_irq, pl_irq(line),
                          label=f"plirq-storm-{i}")
+
+    def _schedule_vm_kills(self, machine) -> None:
+        """Arm externally-driven VM kills if the plan requests them.
+
+        Like the storms, :data:`~repro.faults.plan.VM_KILL` has no
+        device-side consult — it models a guest crash the hypervisor
+        only observes.  ``params``: ``at`` (cycle of the first kill,
+        default 50000), ``count`` (kills to schedule, default 1),
+        ``spacing`` (cycles between kills, default 150000), ``vm_index``
+        (rotates the victim among live guests), ``policy`` / ``budget``
+        / ``backoff`` (the :class:`~repro.kernel.lifecycle.VmPolicy`
+        applied to the victim at fire time, default ``"restart"``).
+        Needs a kernel; kills are spec-gated through :meth:`fire` so
+        ``after`` / ``max_fires`` apply per scheduled kill.
+        """
+        spec = self.plan.spec_for(VM_KILL)
+        if spec is None or self.kernel is None:
+            return
+        at = int(spec.params.get("at", 50_000))
+        count = int(spec.params.get("count", 1))
+        spacing = int(spec.params.get("spacing", 150_000))
+        for i in range(count):
+            machine.sim.schedule_at(
+                max(at + i * spacing, machine.sim.now),
+                lambda n=i: self._vm_kill_fire(n), label=f"vm-kill-{i}")
+
+    def _vm_kill_fire(self, n: int) -> None:
+        from ..kernel.lifecycle import VmPolicy
+        from ..kernel.pd import PdState
+
+        k = self.kernel
+        victims = [pd for vm_id, pd in sorted(k.domains.items())
+                   if pd is not k.manager_pd
+                   and pd.state is not PdState.DEAD
+                   and vm_id not in k.lifecycle.halted]
+        if not victims:
+            # No eligible guest left (all dead or halted): the event
+            # lapses without booking a fire, so ``plan.fires(VM_KILL)``
+            # counts *actual* kills.
+            return
+        spec = self.fire(VM_KILL, n=n)
+        if spec is None:
+            return
+        pd = victims[(int(spec.params.get("vm_index", 0)) + n) % len(victims)]
+        policy = VmPolicy(
+            action=str(spec.params.get("policy", "restart")),
+            max_restarts=int(spec.params.get("budget", 2)),
+            backoff_cycles=int(spec.params.get("backoff", 20_000)))
+        k.lifecycle.set_policy(pd.vm_id, policy)
+        if (policy.action == "restart_from_checkpoint"
+                and k.lifecycle.latest(pd.vm_id) is None):
+            # Guarantee the restore path has a snapshot to come back to.
+            k.lifecycle.checkpoint(pd, reason="fault_injection")
+        k.kill_vm(pd, reason="fault_injection")

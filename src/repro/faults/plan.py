@@ -24,6 +24,7 @@ site                    effect at the site
 ``guest.wild_pointer``   a guest programs wild DMA pointers (rogue module)
 ``service.crash``        the manager service dies at a named crashpoint
 ``service.hang``         the manager service stops draining its mailbox
+``vm.kill``              a guest VM is killed outright (lifecycle recovery)
 ======================  =====================================================
 """
 
@@ -45,6 +46,7 @@ GUEST_BAD_HYPERCALL = "guest.bad_hypercall"
 GUEST_WILD_POINTER = "guest.wild_pointer"
 SERVICE_CRASH = "service.crash"
 SERVICE_HANG = "service.hang"
+VM_KILL = "vm.kill"
 
 #: One-line effect per site, used by ``python -m repro faults --list``.
 SITE_EFFECTS = {
@@ -58,6 +60,7 @@ SITE_EFFECTS = {
     GUEST_WILD_POINTER: "a guest programs wild DMA pointers (rogue module)",
     SERVICE_CRASH: "the manager service dies at a named crashpoint",
     SERVICE_HANG: "the manager service stops draining its mailbox",
+    VM_KILL: "a guest VM is killed outright (lifecycle recovery)",
 }
 
 #: Every site the injector understands; plans naming others are rejected.

@@ -47,7 +47,7 @@ from .plan import GUEST_BAD_HYPERCALL, GUEST_WILD_POINTER
 #: of unassigned ones.  VM_SUSPEND is excluded — a suspended rogue stops
 #: fuzzing, which is the one outcome that proves nothing.
 FUZZ_HC_NUMBERS = tuple(int(h) for h in Hc if h is not Hc.VM_SUSPEND) + (
-    0, 27, 28, 31, 0x7FFF_FFFF)
+    0, 29, 31, 0x7FFF_FFFF)
 
 #: Deliberately-malformed argument values: negatives, unmapped/huge
 #: addresses, page-misaligned pointers, and boundary integers.

@@ -26,9 +26,9 @@ from __future__ import annotations
 from typing import Any
 
 from ..common.rng import make_rng
-from ..hwmgr.invariants import check_invariants
+from ..hwmgr.invariants import check_invariants, check_lifecycle_invariants
 from .matrix import SCENARIOS
-from .plan import SERVICE_CRASH, SERVICE_HANG, FaultSpec
+from .plan import SERVICE_CRASH, SERVICE_HANG, VM_KILL, FaultSpec
 
 #: Crashpoint-occurrence window the crash index is drawn from.  Small
 #: enough that most draws land inside a scenario's consult count, large
@@ -133,4 +133,120 @@ def run_soak(*, seed: int = 1, crashes: int = 100,
         "reached_target": fired_total >= crashes,
         "ok": bool(runs) and all(r["ok"] for r in runs)
         and not all_violations and fired_total >= crashes,
+    }
+
+
+# -- VM crash/restore soak (docs/RECOVERY.md §9) ------------------------------
+
+#: Restart policies the VM soak cycles through, indexed by a seeded draw.
+_VM_POLICIES = ("restart", "restart_from_checkpoint", "halt")
+
+
+def _run_vm_checks(sc, plan) -> tuple[dict[str, bool], list[str]]:
+    kernel = sc.kernel
+    journal = kernel.manager_journal
+    fired = plan.fires(VM_KILL)
+    violations = check_invariants(kernel)
+    violations += check_lifecycle_invariants(kernel)
+    # A kill can strand one issued-but-unaccounted request per death on
+    # top of the usual one-in-flight horizon cut.
+    conserved = all(
+        0 <= g.thw_stats.requests - (g.thw_stats.completions
+                                     + g.thw_stats.busy
+                                     + g.thw_stats.errors) <= 1 + fired
+        for g in sc.guests)
+    acct = kernel.acct
+    acct.settle()
+    ledger_ok = (not acct.bound
+                 or acct.total_accounted() == kernel.sim.now
+                 - acct.start_cycle)
+    checks = {
+        "invariants_hold": not violations,
+        "journal_balanced": journal is None or journal.balanced(),
+        "requests_conserved": conserved,
+        "kills_counted": kernel.metrics.total("kernel.vm_kills") >= fired,
+        "ledger_balanced": ledger_ok,
+        "no_violation_metric":
+            kernel.metrics.total("supervisor.invariant_violations") == 0,
+    }
+    return checks, violations
+
+
+def run_vm_soak(*, seed: int = 1, kills: int = 100,
+                max_runs: int | None = None) -> dict[str, Any]:
+    """Run the scenario matrix under seeded VM kills.
+
+    Each iteration arms a :data:`~repro.faults.plan.VM_KILL` spec with a
+    seeded kill time, kill count, victim rotation and restart policy,
+    then asserts the hardware invariants (I1-I8) *plus* the VM-lifecycle
+    invariants (no leaked PRR, no dead-epoch vIRQ, balanced cycle
+    ledger) after every run.  Deterministic like :func:`run_soak`: four
+    RNG draws per iteration, JSON-stable payload.
+    """
+    rng = make_rng(seed, stream="vm-soak")
+    names = list(SCENARIOS)
+    if max_runs is None:
+        max_runs = max(4 * kills, len(names))
+    runs: list[dict[str, Any]] = []
+    killed_total = 0
+    restarts_total = 0
+    halts_total = 0
+    all_violations: list[str] = []
+    i = 0
+    while killed_total < kills and i < max_runs:
+        # Fixed draw count per iteration keeps the stream aligned.
+        name = names[i % len(names)]
+        policy = _VM_POLICIES[int(rng.integers(0, len(_VM_POLICIES)))]
+        at = 50_000 + int(rng.integers(0, 8)) * 25_000
+        count = 1 + int(rng.integers(0, 2))
+        vm_index = int(rng.integers(0, 4))
+        spec = FaultSpec(VM_KILL, max_fires=count, params={
+            "at": at, "count": count, "spacing": 150_000,
+            "vm_index": vm_index, "policy": policy, "budget": 2})
+        capture: dict[str, Any] = {}
+        SCENARIOS[name](seed + i, extra_specs=(spec,), _capture=capture)
+        sc = capture["sc"]
+        plan = sc.injector.plan
+        checks, violations = _run_vm_checks(sc, plan)
+        lc = sc.kernel.lifecycle
+        killed_total += plan.fires(VM_KILL)
+        restarts_total += lc.restart_count
+        halts_total += lc.halt_count
+        all_violations.extend(violations)
+        runs.append({
+            "run": i,
+            "scenario": name,
+            "policy": policy,
+            "at": at,
+            "kills": plan.fires(VM_KILL),
+            "restarts": lc.restart_count,
+            "halts": lc.halt_count,
+            "checkpoints": sc.kernel.metrics.total(
+                "vm.lifecycle.checkpoints"),
+            "restores": sc.kernel.metrics.total("vm.lifecycle.restores"),
+            "virqs_dropped": sc.kernel.metrics.total(
+                "vm.lifecycle.virqs_dropped"),
+            "virqs_dead_epoch": sc.kernel.metrics.total(
+                "vm.lifecycle.virqs_dead_epoch"),
+            "client_reclaims": sc.kernel.metrics.total(
+                "vm.lifecycle.client_reclaims"),
+            "checks": {k: bool(v) for k, v in sorted(checks.items())},
+            "ok": all(checks.values()),
+        })
+        i += 1
+    return {
+        "seed": seed,
+        "kill_target": kills,
+        "runs": runs,
+        "totals": {
+            "runs": len(runs),
+            "vms_killed": killed_total,
+            "restarts": restarts_total,
+            "halts": halts_total,
+            "invariant_violations": len(all_violations),
+        },
+        "violations": all_violations,
+        "reached_target": killed_total >= kills,
+        "ok": bool(runs) and all(r["ok"] for r in runs)
+        and not all_violations and killed_total >= kills,
     }

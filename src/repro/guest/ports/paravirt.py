@@ -79,6 +79,23 @@ class ParavirtUcos:
     def deliver_virq(self, irq_id: int) -> None:
         self.os.pending_irqs.append(irq_id)
 
+    # -- VM lifecycle hooks (docs/RECOVERY.md §9) ----------------------------------
+
+    def lifecycle_respawn(self) -> "ParavirtUcos":
+        """A fresh runner for a resurrected incarnation of this VM: same
+        task set, no execution state — the supervisor binds it to the
+        rebuilt PD and the boot hypercall sequence replays."""
+        return ParavirtUcos(self.os.lifecycle_fresh())
+
+    def lifecycle_state(self) -> dict:
+        """Checkpointable guest-software state beyond the memory image:
+        the OS persistence scratchpad restartable tasks record progress in."""
+        return {"persist": dict(self.os.persist)}
+
+    def lifecycle_restore(self, state: dict) -> None:
+        self.os.persist.clear()
+        self.os.persist.update(state.get("persist", {}))
+
     def deliver_fault(self, fault) -> None:
         self.os.absorb_fault(fault)
 

@@ -142,6 +142,12 @@ class Ucos:
         self.pending_irqs: list[int] = []
         #: Filled by the port at boot: physical base of the hw data section.
         self.hwdata_pa: int = 0
+        #: Application-visible scratchpad a restartable task keeps its
+        #: progress markers in; captured into VM checkpoints as runner
+        #: state and reinstated on restore (docs/RECOVERY.md §9).  A
+        #: *fresh* restart gets an empty one — progress only survives
+        #: through a checkpoint.
+        self.persist: dict = {}
         self.port = None   # bound by the port/runner
         self._create_idle()
 
@@ -167,6 +173,18 @@ class Ucos:
 
     def create_queue(self, name: str, capacity: int = 8) -> OsQueue:
         return OsQueue(name=name, capacity=capacity)
+
+    def lifecycle_fresh(self) -> "Ucos":
+        """A factory-fresh copy of this OS image for VM resurrection:
+        same task set (re-created from their generator factories, so no
+        execution state carries over), empty ``persist``.  Semaphores and
+        IRQ bindings are re-created by the tasks themselves as they boot."""
+        fresh = Ucos(self.name, tick_hz=self.tick_hz)
+        for prio in sorted(self.tasks):
+            tcb = self.tasks[prio]
+            if prio != IDLE_PRIO:
+                fresh.create_task(tcb.name, prio, tcb.fn)
+        return fresh
 
     def _create_idle(self) -> None:
         def idle_fn(os: "Ucos") -> Generator:

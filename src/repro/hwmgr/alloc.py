@@ -284,8 +284,10 @@ class Allocator:
         unowned and empty; the old client discovers the loss through its
         state flag / unmapped interface and re-requests the task.
 
-        ``reason`` is ``"watchdog"`` (hung task; bumps ``row.hangs``) or
-        ``"recovery"`` (crash-recovery rollback/reconcile).  The routine
+        ``reason`` is ``"watchdog"`` (hung task; bumps ``row.hangs``),
+        ``"recovery"`` (crash-recovery rollback/reconcile) or
+        ``"client_died"`` (owning VM killed — docs/RECOVERY.md §9; counts
+        with the recovery reclaims).  The routine
         is **idempotent**: a second call on an already-clean region — a
         watchdog kill racing a crash-recovery pass, say — returns early
         without touching hardware or double-counting, so ``row.reclaims``

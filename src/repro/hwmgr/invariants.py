@@ -12,7 +12,8 @@ from __future__ import annotations
 from ..fpga.prr import PrrStatus
 from .journal import OP_ALLOCATE
 
-__all__ = ["check_invariants"]
+__all__ = ["assert_no_vm_leaks", "check_invariants",
+           "check_lifecycle_invariants"]
 
 
 def check_invariants(kernel) -> list[str]:
@@ -102,3 +103,79 @@ def check_invariants(kernel) -> list[str]:
             v.append(f"prr{prr.prr_id}: BUSY with no completion/watchdog "
                      f"event pending")
     return v
+
+
+def check_lifecycle_invariants(kernel) -> list[str]:
+    """VM-lifecycle invariants (docs/RECOVERY.md §9) — the no-leak side
+    of kill/resurrect.  Robust to systems without a manager or without
+    any lifecycle activity (native builds return no violations)."""
+    from ..kernel.pd import PdState
+
+    v: list[str] = []
+    mgr = kernel.manager_pd
+    service = mgr.runner if mgr is not None else None
+    lc = getattr(kernel, "lifecycle", None)
+
+    # Scope to *killed* epochs (kill_vm marks the vGIC dead).  A guest
+    # that finishes voluntarily also ends DEAD but keeps its last state
+    # — it was never torn down, so the no-leak rules don't apply to it.
+    dead = {vm_id: pd for vm_id, pd in kernel.domains.items()
+            if pd.state is PdState.DEAD and pd.vgic.dead and pd is not mgr}
+
+    # L1: no PRR is still owned by a dead client unless its force-reclaim
+    # is already queued/in flight (the kill path enqueues it).
+    for prr in kernel.machine.prrs:
+        if prr.client_vm not in dead:
+            continue
+        queued = any(r.kind in ("client_died", "watchdog")
+                     and r.task_id == prr.prr_id
+                     for r in kernel.manager_queue)
+        cur = getattr(service, "current_request", None)
+        in_flight = (cur is not None and cur.kind in ("client_died",
+                                                      "watchdog")
+                     and cur.task_id == prr.prr_id)
+        if not (queued or in_flight):
+            v.append(f"prr{prr.prr_id}: owned by dead vm{prr.client_vm} "
+                     f"with no reclaim queued")
+
+    for vm_id, pd in dead.items():
+        # L2: a dead epoch holds no pending vIRQs (all dropped at kill).
+        fifo = pd.vgic.pending_fifo()
+        if fifo:
+            v.append(f"vm{vm_id}: dead epoch has pending vIRQs {fifo}")
+        # L3: a dead epoch maps no register-group pages.
+        if pd.prr_iface:
+            v.append(f"vm{vm_id}: dead epoch still maps PRR ifaces "
+                     f"{sorted(pd.prr_iface)}")
+        # L4: no guest-originated request from a dead epoch stays queued
+        # (kernel-originated reclaims carry exit_=None and are fine).
+        for r in kernel.manager_queue:
+            if r.pd is pd and r.exit_ is not None:
+                v.append(f"vm{vm_id}: dead epoch has a {r.kind!r} request "
+                         f"still queued")
+
+    # L5: lifecycle bookkeeping balances — every kill was resolved into a
+    # halt, a completed restart, or a still-scheduled resurrection.
+    if lc is not None:
+        resolved = lc.halt_count + lc.restart_count + len(lc.pending)
+        if lc.kills != resolved:
+            v.append(f"lifecycle: {lc.kills} kills != {lc.halt_count} halts"
+                     f" + {lc.restart_count} restarts + {len(lc.pending)}"
+                     f" pending")
+
+    # L6: every live domain is registered with the accountant (ledger
+    # continuity across resurrection).
+    acct = getattr(kernel, "acct", None)
+    if acct is not None:
+        for vm_id, pd in kernel.domains.items():
+            if pd.state is not PdState.DEAD and vm_id not in acct.vms:
+                v.append(f"vm{vm_id}: live domain missing from accounting")
+    return v
+
+
+def assert_no_vm_leaks(kernel) -> None:
+    """Raise AssertionError listing every lifecycle-invariant violation;
+    the tools-style leak check tests call after killing VMs."""
+    v = check_lifecycle_invariants(kernel)
+    if v:
+        raise AssertionError("VM resource leaks: " + "; ".join(v))

@@ -141,6 +141,18 @@ class ManagerService:
             k.tracer.mark("watchdog_reclaim", cat="fault", prr=prr_id,
                           vm=old if old is not None else 0)
             return (HcStatus.SUCCESS, prr_id, None)
+        if req.kind == "client_died":
+            # Kernel-originated on VM death: PRR ``task_id``'s client PD
+            # was killed, so its fabric region must return to the free
+            # pool.  Same consistency protocol as the watchdog path
+            # (idempotent — a watchdog reclaim racing the kill is fine).
+            prr_id = req.task_id
+            old = alloc.force_reclaim(prr_id, reason="client_died")
+            k = self.kernel
+            k.metrics.counter("vm.lifecycle.client_reclaims").inc()
+            k.tracer.mark("client_died_reclaim", cat="lifecycle", prr=prr_id,
+                          vm=old if old is not None else 0)
+            return (HcStatus.SUCCESS, prr_id, None)
         raise DeviceError(f"unknown manager request kind {req.kind!r}")
 
     # -- fault-site consults (untimed; no-ops without an injector) -----------------

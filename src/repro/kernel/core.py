@@ -48,6 +48,7 @@ from .exits import (
 )
 from .hypercalls import Hc, HcStatus
 from .ivc import IVC_IRQ, IvcRouter
+from .lifecycle import VmLifecycle
 from .memory import DACR_GUEST_KERNEL, DACR_GUEST_USER, DACR_HOST, KernelMemory
 from .pd import PdState, ProtectionDomain
 from .sched import Scheduler
@@ -95,7 +96,7 @@ class KernelConfig:
 class _HwRequest:
     """Mailbox record for the Hardware Task Manager."""
 
-    kind: str                # "request" | "release" | "irq_attach" | "watchdog"
+    kind: str   # "request" | "release" | "irq_attach" | "watchdog" | "client_died"
     pd: ProtectionDomain
     #: None for kernel-originated requests (watchdog): nothing to resume.
     exit_: ExitHypercall | None
@@ -152,6 +153,10 @@ class MiniNova:
         self.manager_journal: IntentJournal | None = None
         #: Health-checks the manager PD and drives crash recovery.
         self.supervisor = ManagerSupervisor(self)
+        #: Checkpoint store + per-VM death policies (restart / restore /
+        #: halt — docs/RECOVERY.md §9).  Schedules nothing until a policy
+        #: arms periodic checkpoints or a VM actually dies.
+        self.lifecycle = VmLifecycle(self)
         #: Per-VM console transcript: (vm_id, line) in emission order.
         self.console_log: list[tuple[int, str]] = []
         self._console_bufs: dict[int, bytearray] = {}
@@ -204,6 +209,21 @@ class MiniNova:
         self.metrics.counter("recovery.journal_rollbacks")
         self.metrics.counter("recovery.journal_replays")
         self.metrics.counter("recovery.reconcile_reclaims")
+        # VM lifecycle: checkpoint/restore + kill-path reclamation
+        # (docs/RECOVERY.md §9) — zero-valued on fault-free runs.
+        self.metrics.counter("vm.lifecycle.checkpoints")
+        self.metrics.counter("vm.lifecycle.restarts")
+        self.metrics.counter("vm.lifecycle.restores")
+        self.metrics.counter("vm.lifecycle.halts")
+        self.metrics.counter("vm.lifecycle.virqs_dropped")
+        self.metrics.counter("vm.lifecycle.virqs_replayed")
+        self.metrics.counter("vm.lifecycle.virqs_dead_epoch")
+        self.metrics.counter("vm.lifecycle.iface_unmaps")
+        self.metrics.counter("vm.lifecycle.requests_purged")
+        self.metrics.counter("vm.lifecycle.ivc_purged")
+        self.metrics.counter("vm.lifecycle.client_reclaims")
+        self.metrics.histogram("vm.lifecycle.checkpoint_cycles")
+        self.metrics.histogram("vm.lifecycle.restore_cycles")
         # Accounting starts at boot time: every later cycle is attributed
         # to a context (kernel / guest / idle) until the books are read.
         self.acct.bind(self.sim.clock)
@@ -494,7 +514,9 @@ class MiniNova:
             if self.pcap_client is not None:
                 target = self.pcap_client
                 self.pcap_client = None
-                if target.vgic.owns(irq):
+                if target.state is PdState.DEAD:
+                    self._note_dead_epoch_virq(target, irq)
+                elif target.vgic.owns(irq):
                     target.vgic.pend(irq)
                     if target is self.current:
                         self._inject_virq(target, measure_pl=False)
@@ -522,7 +544,12 @@ class MiniNova:
         cpu.instr(10 * len(self.machine.prrs))
         for i in range(len(self.machine.prrs)):
             cpu.load(self.syms.vgic_inject + 0x80 + 32 * i)
-        if target is not None and target.vgic.owns(irq):
+        if target is not None and target.state is PdState.DEAD:
+            # Dead-epoch rule (docs/RECOVERY.md §9): counted + dropped,
+            # never delivered.
+            self._note_dead_epoch_virq(target, irq)
+            self.tracer.mark("plirq_route_end", cat="vgic", seq=seq, vm=0)
+        elif target is not None and target.vgic.owns(irq):
             target.vgic.pend(irq)
             cpu.store(L.kva(target.kobj_addr + 0x100 + 4 * irq))
             self.tracer.mark("plirq_route_end", cat="vgic", seq=seq,
@@ -537,6 +564,12 @@ class MiniNova:
             # so an IRQ storm on an unowned line never reaches any VM.
             self.metrics.counter("kernel.plirq_spurious").inc()
             self.tracer.mark("plirq_route_end", cat="vgic", seq=seq, vm=0)
+
+    def _note_dead_epoch_virq(self, pd: ProtectionDomain, irq: int) -> None:
+        """A vIRQ was routed at a DEAD PD: count + drop (never deliver)."""
+        self.metrics.counter("vm.lifecycle.virqs_dead_epoch").inc()
+        self.tracer.mark("virq_dead_epoch", cat="lifecycle", vm=pd.vm_id,
+                         irq=irq, epoch=pd.epoch)
 
     def _timer_fired(self) -> None:
         purpose = self._timer_purpose
@@ -613,6 +646,11 @@ class MiniNova:
     # ------------------------------------------------------------- guest exits
 
     def _handle_exit(self, pd: ProtectionDomain, exit_: GuestExit) -> None:
+        if pd.state is PdState.DEAD:
+            # The PD was killed mid-chunk (e.g. a seeded vm.kill event
+            # fired during its step): the stale exit belongs to a dead
+            # epoch and is discarded.
+            return
         if isinstance(exit_, ExitHypercall):
             self._handle_hypercall(pd, exit_)
         elif isinstance(exit_, ExitIdle):
@@ -661,14 +699,89 @@ class MiniNova:
             self.kill_vm(pd, reason="double_fault")
 
     def kill_vm(self, pd: ProtectionDomain, *, reason: str) -> None:
-        """Terminate a misbehaving VM for good (state -> DEAD)."""
-        self.sched.remove(pd)
-        if self.current is pd:
-            self.current = None
-            self.machine.private_timer.cancel()
-        self.metrics.counter("kernel.vm_kills").inc()
-        self.tracer.mark("vm_killed", cat="fault", vm=pd.vm_id,
-                         reason=reason)
+        """Terminate a misbehaving VM (state -> DEAD) and reclaim every
+        resource the dead incarnation held; the lifecycle policy then
+        decides whether this epoch was the VM's last
+        (docs/RECOVERY.md §9).
+
+        Reclamation charges timed kernel paths, and a kill can arrive
+        from any context (an exception handler, or an externally-driven
+        fault event interrupting guest user code), so it runs under the
+        supervisor's saved/restored privileged-context protocol."""
+        cpu = self.cpu
+        mode, masked = cpu.mode, cpu.irq_masked
+        cpu.set_mode(Mode.SVC)
+        cpu.irq_masked = True
+        try:
+            self.sched.remove(pd)
+            if self.current is pd:
+                self.current = None
+                self.machine.private_timer.cancel()
+            self._reclaim_vm_resources(pd)
+            self.metrics.counter("kernel.vm_kills").inc()
+            self.tracer.mark("vm_killed", cat="fault", vm=pd.vm_id,
+                             reason=reason)
+            self.lifecycle.note_kill(pd, reason)
+        finally:
+            cpu.set_mode(mode)
+            cpu.irq_masked = masked
+
+    def _reclaim_vm_resources(self, pd: ProtectionDomain) -> None:
+        """Tear down everything a dead PD owns.
+
+        Pending vIRQs are dropped (and the vGIC marked dead so nothing
+        new pends into the old epoch), register-group pages are demapped
+        with their TLB shoot-downs, the dead VM's queued manager requests
+        are purged, PRRs it still owns get a ``client_died`` reclaim
+        queued through the consistency protocol, and its IVC mailbox is
+        emptied.  Leaving any of these behind is a lifecycle-invariant
+        violation (``check_lifecycle_invariants``)."""
+        cpu = self.cpu
+        dropped = pd.vgic.drop_all_pending()
+        pd.vgic.dead = True
+        if dropped:
+            self.metrics.counter("vm.lifecycle.virqs_dropped").inc(dropped)
+        pd.vcpu.vregs.pop("_pending_pl_seq", None)
+        pd.vcpu.vregs.pop("_hwreq_wait", None)
+        pd.vcpu.vregs.pop("_deferred_exit", None)
+        # Register-group mappings: demap + shoot down, like a release.
+        for prr_id in list(pd.prr_iface):
+            cpu.code(self.syms.mem_map, C.pt_update_per_page)
+            self.kmem.unmap_prr_iface(pd, prr_id)
+            cpu.instr(C.tlb_flush_va)
+            self.metrics.counter("vm.lifecycle.iface_unmaps").inc()
+        # Queued (not yet picked up) requests from this PD will never be
+        # answered: purge them so the manager does not work for a ghost.
+        # The in-flight one, if any, is handled by manager_post_result.
+        kept = [r for r in self.manager_queue
+                if not (r.pd is pd and r.exit_ is not None)]
+        purged = len(self.manager_queue) - len(kept)
+        if purged:
+            self.manager_queue = kept
+            self.metrics.counter("vm.lifecycle.requests_purged").inc(purged)
+            self.supervisor.note_progress()
+        # PRRs the dead client still owns: drive the hwmgr consistency
+        # protocol (force-reclaim via a kernel-originated request, like
+        # the watchdog path — nobody is parked on the result).
+        if self.manager_pd is not None and pd is not self.manager_pd:
+            queued_reclaim = False
+            for prr in self.machine.prrs:
+                if prr.client_vm == pd.vm_id:
+                    self.manager_queue.append(_HwRequest(
+                        "client_died", pd, None, task_id=prr.prr_id))
+                    self.supervisor.note_enqueue()
+                    queued_reclaim = True
+            if queued_reclaim:
+                self.sched.resume(self.manager_pd,
+                                  front=self.config.service_resume_front)
+        # IVC: drop undelivered messages addressed to the dead epoch.
+        pending_msgs = self.ivc.pending(pd.vm_id)
+        if pending_msgs:
+            self.metrics.counter("vm.lifecycle.ivc_purged").inc(pending_msgs)
+        self.ivc.register(pd.vm_id)      # fresh (empty) mailbox
+        if self.pcap_client is pd:
+            self.pcap_client = None
+        self._console_bufs.pop(pd.vm_id, None)
 
     def _vfp_lazy_switch(self, pd: ProtectionDomain) -> None:
         """UND trap from a disabled VFP: move banks now (Table I, lazy)."""
@@ -901,16 +1014,37 @@ class MiniNova:
         elif num is Hc.IVC_SEND:
             cpu.instr(C.ivc_send)
             dst = arg(0)
-            ok = self.ivc.send(pd.vm_id, dst, tuple(a[1:5]))
             target = self.domains.get(dst)
-            if ok and target is not None:
-                target.vgic.register(IVC_IRQ)
-                target.vgic.pend(IVC_IRQ)
-            exit_.result = HcStatus.SUCCESS if ok else HcStatus.ERR_ARG
+            if target is not None and target.state is PdState.DEAD:
+                # A dead peer is indistinguishable from a missing one,
+                # but the attempted notification is epoch-accounted.
+                self._note_dead_epoch_virq(target, IVC_IRQ)
+                exit_.result = HcStatus.ERR_ARG
+            else:
+                ok = self.ivc.send(pd.vm_id, dst, tuple(a[1:5]))
+                if ok and target is not None:
+                    target.vgic.register(IVC_IRQ)
+                    target.vgic.pend(IVC_IRQ)
+                exit_.result = HcStatus.SUCCESS if ok else HcStatus.ERR_ARG
         elif num is Hc.IVC_RECV:
             cpu.instr(C.ivc_recv)
             msg = self.ivc.recv(pd.vm_id)
             exit_.result = (msg.src_vm, *msg.payload) if msg else None
+        elif num is Hc.VM_CHECKPOINT:
+            # Synchronous snapshot of the calling VM (never parks, never
+            # kills; arguments are ignored so no malformed call can fault).
+            cpu.instr(C.small_hypercall)
+            if self.lifecycle.checkpoint_in_progress:
+                exit_.result = HcStatus.BUSY
+            elif (pd.state is PdState.DEAD
+                  or self.lifecycle.marked_for_restart(pd.vm_id)):
+                exit_.result = HcStatus.ERR_STATE
+            else:
+                exit_.result = self.lifecycle.checkpoint(
+                    pd, reason="hypercall").seq
+        elif num is Hc.VM_CHECKPOINT_QUERY:
+            cpu.instr(C.small_hypercall)
+            exit_.result = self.lifecycle.latest_seq(pd.vm_id)
         else:  # pragma: no cover - exhaustive above
             raise HypercallError(f"unhandled hypercall {num}")
         return False
@@ -1246,8 +1380,21 @@ class MiniNova:
             return        # kernel-originated (watchdog): nobody to resume
         req.pd.vcpu.vregs.pop("_hwreq_wait", None)
         # A requester killed while parked must not be resurrected by its
-        # own result (or by a restart bounce): drop the reply.
+        # own result (or by a restart bounce): drop the reply.  If the
+        # request was in flight when the client died and the manager
+        # still *granted* a region, that region now names a dead client —
+        # immediately queue the consistency-protocol reclaim.
         if req.pd.state is PdState.DEAD:
+            status = result[0] if isinstance(result, tuple) else result
+            if (req.kind == "request" and isinstance(result, tuple)
+                    and len(result) > 1 and result[1] is not None
+                    and status in (HcStatus.SUCCESS, HcStatus.RECONFIG)):
+                self.manager_queue.append(_HwRequest(
+                    "client_died", req.pd, None, task_id=result[1]))
+                self.supervisor.note_enqueue()
+                if self.manager_pd is not None:
+                    self.sched.resume(self.manager_pd,
+                                      front=self.config.service_resume_front)
             return
         req.exit_.result = result
         req.pd.vcpu.vregs["_deferred_exit"] = req.exit_

@@ -46,12 +46,19 @@ class Hc(IntEnum):
     # -- inter-VM communication (group 6) --
     IVC_SEND = 25
     IVC_RECV = 26
+    # -- VM lifecycle (docs/RECOVERY.md §9; kernel-extension calls, not
+    # part of the paper's public 25-call table) --
+    VM_CHECKPOINT = 27       # snapshot the calling VM; r0 = snapshot seq
+    VM_CHECKPOINT_QUERY = 28 # r0 = latest snapshot seq (0 = none)
 
 
 #: The paper counts 25 hypercalls; IVC_RECV completes the send/recv pair
 #: and VM_SUSPEND doubles as IVC blocking, so the *external* count matches:
-#: GUEST_MODE_SET is an internal fast-path not exposed in the public table.
-PUBLIC_HYPERCALLS = tuple(h for h in Hc if h is not Hc.GUEST_MODE_SET)
+#: GUEST_MODE_SET is an internal fast-path not exposed in the public table,
+#: and the VM_CHECKPOINT pair is a post-paper lifecycle extension.
+PUBLIC_HYPERCALLS = tuple(
+    h for h in Hc
+    if h not in (Hc.GUEST_MODE_SET, Hc.VM_CHECKPOINT, Hc.VM_CHECKPOINT_QUERY))
 assert len(PUBLIC_HYPERCALLS) == 25
 
 

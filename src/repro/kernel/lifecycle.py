@@ -1,0 +1,375 @@
+"""VM lifecycle resilience: checkpoint, restore and supervised resurrection.
+
+A killed guest used to be gone for good: ``kill_vm`` tore the PD out of
+the scheduler and everything it owned — PRRs, mapped register groups,
+pending vIRQs — leaked or went stale.  This module closes the loop
+(docs/RECOVERY.md §9):
+
+* :class:`VmCheckpoint` — a deterministic snapshot of one VM's full
+  software-visible state: vCPU registers (incl. the lazy VFP ownership
+  bit), the virtual-timer programming, the vGIC record list with its
+  pending FIFO, the scheduler's view (queue position, remaining
+  quantum), the hardware-task data section and the guest memory image.
+  Snapshots are versioned per VM and kept in a bounded in-memory store;
+  they are taken on demand via ``HC_VM_CHECKPOINT`` or periodically when
+  a policy asks for it.
+* :class:`VmPolicy` — what to do when the VM dies: ``halt`` (the old
+  behaviour, and the default when no policy is set), ``restart`` (fresh
+  boot in the same address space) or ``restart_from_checkpoint``
+  (rebuild from the latest snapshot).  Restarts are budgeted
+  (``max_restarts``) and backed off exponentially (``backoff_cycles``).
+* :class:`VmLifecycle` — the kernel-side driver.  ``kill_vm`` reports
+  every death here; the lifecycle either books a halt or schedules a
+  resurrection event.  Resurrection mirrors the manager supervisor's
+  restart protocol: it runs under a saved/restored privileged context,
+  respawns the PD in place (same vm_id, page table, ASID, physical
+  chunk, kernel object) with a bumped **epoch**, replays or drops the
+  checkpointed pending vIRQs by class, and re-enters the scheduler.
+
+Epoch rule: a vIRQ routed at a PD whose state is DEAD belongs to a dead
+epoch — it is counted (``vm.lifecycle.virqs_dead_epoch``) and dropped,
+never delivered.  Of the checkpointed pending vIRQs only the IVC
+notification is replayed on restore; timer ticks regenerate from the
+restored virtual timer and PL/PCAP completions refer to hardware state
+that was force-reclaimed at kill time, so replaying them would signal
+work the fabric no longer holds.
+
+Timing neutrality: constructing the lifecycle schedules nothing.  Events
+only enter the simulation when a policy with a checkpoint period is set
+or a VM actually dies, so fault-free runs — including every benchmark
+profile — are cycle-identical to a kernel without this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..cpu.modes import Mode
+from . import layout as L
+from .costs import KERNEL_COSTS as C
+from .ivc import IVC_IRQ
+from .pd import PdState, ProtectionDomain
+from .vcpu import Vcpu
+from .vgic import VGic
+
+#: Snapshots retained per VM (oldest dropped beyond this).
+MAX_CHECKPOINTS_PER_VM = 2
+
+#: Pending-vIRQ classes replayed on a restore-from-checkpoint; everything
+#: else (virtual timer, PL completions, PCAP done) is dropped + counted.
+REPLAY_IRQS = frozenset({IVC_IRQ})
+
+#: Allowed policy actions.
+POLICY_ACTIONS = ("halt", "restart", "restart_from_checkpoint")
+
+
+@dataclass(frozen=True)
+class VmPolicy:
+    """Per-VM death policy (docs/RECOVERY.md §9)."""
+
+    action: str = "restart"
+    #: Resurrections granted before the VM is halted for good.
+    max_restarts: int = 3
+    #: Base delay before the first resurrection; doubles per attempt.
+    backoff_cycles: int = 50_000
+    #: >0 arms periodic checkpoints every this many cycles (0 = on-demand
+    #: only — the default, so merely setting a policy stays event-free
+    #: until the VM dies).
+    checkpoint_period_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.action not in POLICY_ACTIONS:
+            raise ValueError(f"unknown lifecycle action {self.action!r}")
+        if self.max_restarts < 0 or self.backoff_cycles < 0:
+            raise ValueError("restart budget/backoff must be >= 0")
+
+
+@dataclass
+class VmCheckpoint:
+    """One versioned snapshot of a VM's software-visible state."""
+
+    vm_id: int
+    seq: int
+    taken_at: int
+    epoch: int
+    reason: str
+    #: vCPU state: user registers, virtual privileged registers (minus
+    #: the kernel's transient ``_``-prefixed markers), timer, mode view.
+    vcpu: dict[str, Any]
+    #: vGIC state: record list + pending FIFO + guest IRQ entry.
+    vgic: dict[str, Any]
+    #: Scheduler view at snapshot time.
+    quantum_remaining: int
+    runnable: bool
+    queue_position: int
+    #: Full guest physical chunk (what makes the restore bit-exact).
+    memory_image: bytes
+    #: Hardware-task data section geometry (va, pa, size).
+    hw_data: tuple[int, int, int]
+    #: Opaque runner-side persistent state (``lifecycle_state()``).
+    runner_state: Any = None
+
+
+class VmLifecycle:
+    """Checkpoint store + death-policy driver, owned by the kernel."""
+
+    def __init__(self, kernel) -> None:
+        self.k = kernel
+        self.policies: dict[int, VmPolicy] = {}
+        #: vm_id -> snapshots, newest last (bounded).
+        self._store: dict[int, list[VmCheckpoint]] = {}
+        self._seq: dict[int, int] = {}
+        #: vm_ids with a resurrection event scheduled but not yet run.
+        self.pending: set[int] = set()
+        #: vm_ids halted for good (no policy / budget exhausted).
+        self.halted: set[int] = set()
+        #: Resurrections granted so far, per vm_id.
+        self.attempts: dict[int, int] = {}
+        #: Lifetime tallies (L5 identity: kills == halts + restarts +
+        #: pending resurrections).
+        self.kills = 0
+        self.halt_count = 0
+        self.restart_count = 0
+        #: Reentrancy guard: a checkpoint hypercall arriving while one is
+        #: already being taken answers BUSY instead of nesting.
+        self._checkpointing = False
+
+    # -- policy -----------------------------------------------------------
+
+    def set_policy(self, vm_id: int, policy: VmPolicy) -> None:
+        """Install ``policy`` for ``vm_id``; arms the periodic checkpoint
+        timer when the policy asks for one (the only way this module
+        schedules an event before a VM dies)."""
+        self.policies[vm_id] = policy
+        self.halted.discard(vm_id)
+        if policy.checkpoint_period_cycles > 0:
+            self.k.sim.schedule(policy.checkpoint_period_cycles,
+                                lambda: self._periodic_fire(vm_id),
+                                label=f"vm-ckpt-{vm_id}")
+
+    def _periodic_fire(self, vm_id: int) -> None:
+        policy = self.policies.get(vm_id)
+        if (policy is None or policy.checkpoint_period_cycles <= 0
+                or vm_id in self.halted):
+            return
+        pd = self.k.domains.get(vm_id)
+        if pd is not None and pd.state is not PdState.DEAD \
+                and not self._checkpointing:
+            self.checkpoint(pd, reason="periodic")
+        self.k.sim.schedule(policy.checkpoint_period_cycles,
+                            lambda: self._periodic_fire(vm_id),
+                            label=f"vm-ckpt-{vm_id}")
+
+    # -- checkpoint -------------------------------------------------------
+
+    @property
+    def checkpoint_in_progress(self) -> bool:
+        return self._checkpointing
+
+    def latest(self, vm_id: int) -> VmCheckpoint | None:
+        snaps = self._store.get(vm_id)
+        return snaps[-1] if snaps else None
+
+    def latest_seq(self, vm_id: int) -> int:
+        snap = self.latest(vm_id)
+        return snap.seq if snap is not None else 0
+
+    def checkpoint(self, pd: ProtectionDomain, *, reason: str) -> VmCheckpoint:
+        """Snapshot ``pd``'s software-visible state (cost-charged through
+        the ordinary context-save paths).
+
+        Like a kill, a periodic checkpoint event can interrupt guest
+        user code, so the timed work runs under a saved/restored
+        privileged context."""
+        k = self.k
+        cpu = k.cpu
+        mode, masked = cpu.mode, cpu.irq_masked
+        cpu.set_mode(Mode.SVC)
+        cpu.irq_masked = True
+        self._checkpointing = True
+        try:
+            t0 = k.sim.now
+            # Modelled cost: an active context save into the kernel save
+            # area, one record-list store per vIRQ entry, then a
+            # descriptor-driven copy of the guest chunk (per-page setup).
+            cpu.code(k.syms.vm_switch, C.vm_switch_fixed)
+            for w in range(Vcpu.ACTIVE_CONTEXT_WORDS):
+                cpu.store(L.kva(pd.vcpu.save_area + 4 * w))
+            for irq_id in pd.vgic.all_irqs():
+                cpu.store(L.kva(pd.kobj_addr + 0x100 + 4 * irq_id))
+            cpu.instr(max(1, pd.phys_size // 4096))
+            seq = self._seq.get(pd.vm_id, 0) + 1
+            self._seq[pd.vm_id] = seq
+            snap = VmCheckpoint(
+                vm_id=pd.vm_id, seq=seq, taken_at=k.sim.now,
+                epoch=pd.epoch, reason=reason,
+                vcpu=pd.vcpu.snapshot(),
+                vgic=pd.vgic.snapshot(),
+                quantum_remaining=pd.quantum_remaining,
+                runnable=pd.state is PdState.RUN,
+                queue_position=k.sched.position(pd),
+                memory_image=k.mem.bus.dram.read_bytes(pd.phys_base,
+                                                       pd.phys_size),
+                hw_data=(pd.hw_data.va, pd.hw_data.pa, pd.hw_data.size),
+                runner_state=self._runner_state(pd))
+            snaps = self._store.setdefault(pd.vm_id, [])
+            snaps.append(snap)
+            del snaps[:-MAX_CHECKPOINTS_PER_VM]
+            k.metrics.counter("vm.lifecycle.checkpoints").inc()
+            k.metrics.histogram("vm.lifecycle.checkpoint_cycles").observe(
+                k.sim.now - t0)
+            k.tracer.mark("vm_checkpoint", cat="lifecycle", vm=pd.vm_id,
+                          seq=seq, reason=reason)
+            return snap
+        finally:
+            self._checkpointing = False
+            cpu.set_mode(mode)
+            cpu.irq_masked = masked
+
+    def _runner_state(self, pd: ProtectionDomain):
+        hook = getattr(pd.runner, "lifecycle_state", None)
+        return hook() if hook is not None else None
+
+    # -- death ------------------------------------------------------------
+
+    def marked_for_restart(self, vm_id: int) -> bool:
+        return vm_id in self.pending
+
+    def note_kill(self, pd: ProtectionDomain, reason: str) -> None:
+        """``kill_vm`` reports every death here; apply the VM's policy."""
+        self.kills += 1
+        policy = self.policies.get(pd.vm_id)
+        if policy is None or policy.action == "halt":
+            self._halt(pd, reason)
+            return
+        attempts = self.attempts.get(pd.vm_id, 0)
+        if attempts >= policy.max_restarts:
+            self._halt(pd, "restart_budget")
+            return
+        self.attempts[pd.vm_id] = attempts + 1
+        delay = max(1, policy.backoff_cycles * (1 << attempts))
+        self.pending.add(pd.vm_id)
+        vm_id = pd.vm_id
+        self.k.sim.schedule(delay, lambda: self._resurrect_fire(vm_id),
+                            label=f"vm-resurrect-{vm_id}")
+
+    def _halt(self, pd: ProtectionDomain, reason: str) -> None:
+        self.halt_count += 1
+        self.halted.add(pd.vm_id)
+        self.k.metrics.counter("vm.lifecycle.halts").inc()
+        self.k.tracer.mark("vm_halted", cat="lifecycle", vm=pd.vm_id,
+                           reason=reason)
+
+    # -- resurrection -----------------------------------------------------
+
+    def _resurrect_fire(self, vm_id: int) -> None:
+        self.pending.discard(vm_id)
+        old = self.k.domains.get(vm_id)
+        if old is None or old.state is not PdState.DEAD \
+                or vm_id in self.halted:
+            return
+        self.resurrect(vm_id)
+
+    def resurrect(self, vm_id: int) -> ProtectionDomain | None:
+        """Respawn a dead VM in place, per its policy.
+
+        Mirrors the manager supervisor's restart protocol: the event can
+        fire under any interrupted context, so privileged state is saved,
+        the work runs at SVC with IRQs masked, and everything is restored
+        afterwards (docs/RECOVERY.md §4 step 1).
+        """
+        k = self.k
+        old = k.domains[vm_id]
+        policy = self.policies.get(vm_id)
+        cpu = k.cpu
+        sysregs = cpu.sysregs
+        mode, masked = cpu.mode, cpu.irq_masked
+        saved_ctx = {name: sysregs.read(name, privileged=True)
+                     for name in ("TTBR0", "CONTEXTIDR", "DACR")}
+        cpu.set_mode(Mode.SVC)
+        cpu.irq_masked = True
+        t0 = k.sim.now
+        try:
+            respawn = getattr(old.runner, "lifecycle_respawn", None)
+            if respawn is None:
+                # The runner cannot be rebuilt (e.g. a rogue WildRunner):
+                # policy degrades to a halt.
+                self._halt(old, "runner_unsupported")
+                return None
+            new_runner = respawn()
+            pd = ProtectionDomain(
+                vm_id=vm_id, name=old.name, priority=old.priority,
+                vcpu=Vcpu(vm_id=vm_id, save_area=old.kobj_addr + 0x40),
+                vgic=VGic(vm_id=vm_id, acct=k.acct),
+                page_table=old.page_table, asid=old.asid,
+                phys_base=old.phys_base, phys_size=old.phys_size,
+                runner=new_runner, kobj_addr=old.kobj_addr,
+                epoch=old.epoch + 1)
+            k.domains[vm_id] = pd
+            # Ledger continuity: same vm_id re-registers onto the same
+            # accounting row, and the fresh epoch gets a fresh mailbox.
+            k.acct.register_vm(vm_id, pd.name)
+            k.ivc.register(vm_id)
+            # Modelled respawn cost through the ordinary dispatch paths
+            # (resurrections only happen in fault runs, so this cannot
+            # perturb the benchmarks).
+            cpu.code(k.syms.scheduler, C.scheduler_pick)
+            cpu.code(k.syms.vm_switch, C.vm_switch_fixed)
+            ckpt = None
+            if policy is not None and policy.action == "restart_from_checkpoint":
+                ckpt = self.latest(vm_id)
+            new_runner.bind(k, pd)
+            if ckpt is not None:
+                self._apply_checkpoint(pd, ckpt)
+            k.sched.add(pd, runnable=True)
+            if ckpt is not None and ckpt.quantum_remaining > 0:
+                pd.quantum_remaining = ckpt.quantum_remaining
+            self.restart_count += 1
+            k.metrics.counter("vm.lifecycle.restarts").inc()
+            if ckpt is not None:
+                k.metrics.counter("vm.lifecycle.restores").inc()
+            k.metrics.histogram("vm.lifecycle.restore_cycles").observe(
+                k.sim.now - t0)
+            k.tracer.mark("vm_restore", cat="lifecycle", vm=vm_id,
+                          epoch=pd.epoch, seq=ckpt.seq if ckpt else 0,
+                          source="checkpoint" if ckpt else "fresh")
+            return pd
+        finally:
+            for name, value in saved_ctx.items():
+                sysregs.write(name, value, privileged=True)
+            cpu.set_mode(mode)
+            cpu.irq_masked = masked
+
+    def _apply_checkpoint(self, pd: ProtectionDomain,
+                          ckpt: VmCheckpoint) -> None:
+        """Rebuild ``pd``'s software-visible state from ``ckpt``."""
+        k = self.k
+        cpu = k.cpu
+        # Guest memory image first: it also rolls back any partial writes
+        # the dying epoch made after the snapshot (bit-exact resume).
+        k.mem.bus.dram.write_bytes(pd.phys_base, ckpt.memory_image)
+        cpu.instr(max(1, len(ckpt.memory_image) // 4096))
+        # Active context: registers, vregs, timer, privilege view.
+        pd.vcpu.restore(ckpt.vcpu)
+        for w in range(Vcpu.ACTIVE_CONTEXT_WORDS):
+            cpu.load(L.kva(pd.vcpu.save_area + 4 * w))
+        # vGIC record list; pending vIRQs replay or drop by class.
+        pd.vgic.irq_entry_va = ckpt.vgic["irq_entry_va"]
+        for irq_id, enabled, _pending, guest_word in ckpt.vgic["records"]:
+            st = pd.vgic.register(irq_id, enabled=enabled)
+            st.guest_word = guest_word
+            cpu.store(L.kva(pd.kobj_addr + 0x100 + 4 * irq_id))
+        for irq_id in ckpt.vgic["pending_fifo"]:
+            if irq_id in REPLAY_IRQS:
+                pd.vgic.pend(irq_id)
+                k.metrics.counter("vm.lifecycle.virqs_replayed").inc()
+            else:
+                k.metrics.counter("vm.lifecycle.virqs_dropped").inc()
+        # Hardware-task data section geometry (the guest's boot replay of
+        # HWDATA_DEFINE re-derives the same values).
+        va, pa, size = ckpt.hw_data
+        pd.hw_data.va, pd.hw_data.pa, pd.hw_data.size = va, pa, size
+        restore = getattr(pd.runner, "lifecycle_restore", None)
+        if restore is not None and ckpt.runner_state is not None:
+            restore(ckpt.runner_state)

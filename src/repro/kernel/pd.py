@@ -65,6 +65,11 @@ class ProtectionDomain:
     portals: dict[str, Callable] = field(default_factory=dict)
     #: Kernel-memory address of the PD structure (switch path touches it).
     kobj_addr: int = 0
+    #: Incarnation counter: bumped each time the VM is resurrected in
+    #: place (docs/RECOVERY.md §9).  State addressed at an older epoch —
+    #: e.g. a vIRQ routed at a DEAD predecessor PD — is counted and
+    #: dropped, never delivered.
+    epoch: int = 0
     #: Statistics.
     switches_in: int = 0
     hypercalls: int = 0

@@ -144,6 +144,14 @@ class Scheduler:
     def runnable_count(self) -> int:
         return sum(len(q) for q in self._run)
 
+    def position(self, pd: ProtectionDomain) -> int:
+        """Index of ``pd`` in its priority circle (-1 when not queued);
+        part of the scheduler view a VM checkpoint records."""
+        try:
+            return self._run[pd.priority].index(pd)
+        except ValueError:
+            return -1
+
     def run_queue_at(self, priority: int) -> list[ProtectionDomain]:
         return list(self._run[priority])
 

@@ -71,3 +71,28 @@ class Vcpu:
         if self.regs:
             regfile.restore_user(self.regs)
         self.restores += 1
+
+    # -- checkpoint/restore (docs/RECOVERY.md §9) ---------------------------
+
+    def snapshot(self) -> dict:
+        """Checkpointable vCPU state.  Transient ``_``-prefixed vregs
+        (deferred-exit staging, pending-PL markers) are kernel bookkeeping
+        tied to the current incarnation and are excluded."""
+        return {
+            "regs": dict(self.regs),
+            "vregs": {k: v for k, v in self.vregs.items()
+                      if not k.startswith("_")},
+            "vtimer": (self.vtimer.period, self.vtimer.remaining,
+                       self.vtimer.irq_id),
+            "guest_kernel_mode": self.guest_kernel_mode,
+            "used_vfp": self.used_vfp,
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Reload state captured by :meth:`snapshot`."""
+        self.regs = dict(snap["regs"])
+        self.vregs = dict(snap["vregs"])
+        self.vtimer.period, self.vtimer.remaining, self.vtimer.irq_id = \
+            snap["vtimer"]
+        self.guest_kernel_mode = snap["guest_kernel_mode"]
+        self.used_vfp = snap["used_vfp"]

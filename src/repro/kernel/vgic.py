@@ -54,6 +54,10 @@ class VGic:
     #: Optional per-VM accountant (wired by the kernel); pend/take feed
     #: its vIRQ tallies and injection-to-delivery latency samples.
     acct: Any = None
+    #: Set when the owning PD dies: a dead-epoch vGIC accepts no new
+    #: pends (the kernel's routing sites count such attempts into
+    #: ``vm.lifecycle.virqs_dead_epoch`` — docs/RECOVERY.md §9).
+    dead: bool = False
 
     # -- registration ------------------------------------------------------
 
@@ -85,6 +89,8 @@ class VGic:
 
     def pend(self, irq_id: int) -> None:
         """Mark a vIRQ pending (IRQ arrived; VM may or may not be running)."""
+        if self.dead:
+            return
         st = self.irqs.get(irq_id)
         if st is None or not st.enabled:
             return
@@ -113,6 +119,32 @@ class VGic:
 
     def has_pending(self) -> bool:
         return self.next_pending() is not None
+
+    def pending_fifo(self) -> list[int]:
+        """Pending vIRQ ids in delivery order (checkpoint/inspection)."""
+        return list(self._pending_fifo)
+
+    def drop_all_pending(self) -> int:
+        """Discard every pending vIRQ (VM death); returns the count.
+        Each drop is reported to the accountant so no pend timestamp
+        leaks into a later incarnation's latency samples."""
+        dropped = 0
+        for irq_id in list(self._pending_fifo):
+            self.irqs[irq_id].pending = False
+            self._pending_fifo.remove(irq_id)
+            dropped += 1
+            if self.acct is not None:
+                self.acct.note_virq_dropped(self.vm_id, irq_id)
+        return dropped
+
+    def snapshot(self) -> dict:
+        """Checkpointable record list + pending FIFO + entry point."""
+        return {
+            "irq_entry_va": self.irq_entry_va,
+            "records": [(st.irq_id, st.enabled, st.pending, st.guest_word)
+                        for _, st in sorted(self.irqs.items())],
+            "pending_fifo": list(self._pending_fifo),
+        }
 
     # -- physical-GIC shadowing (VM switch) -----------------------------------
 

@@ -78,6 +78,17 @@ class TestRunBench:
         assert (acct["kernel_cycles"] + acct["idle_cycles"] + per_vm
                 == acct["total_accounted"])
 
+    def test_vm_lifecycle_block_all_zero_when_fault_free(self, payload):
+        """Timing neutrality in the artifact itself: a healthy bench run
+        schedules no lifecycle events (docs/RECOVERY.md §9)."""
+        lc = payload["vm_lifecycle"]
+        for key in ("checkpoints", "restarts", "restores", "halts",
+                    "virqs_replayed", "virqs_dropped", "virqs_dead_epoch",
+                    "client_reclaims"):
+            assert lc[key] == 0, key
+        assert lc["checkpoint_cycles"]["count"] == 0
+        assert lc["restore_cycles"]["count"] == 0
+
     def test_profiles_and_artifact_path(self):
         assert set(PROFILES) == {"paper", "quick"}
         assert default_artifact_path("paper") == "BENCH_paper.json"

@@ -1,0 +1,35 @@
+"""VM crash/restore soak: deterministic and clean over a small budget."""
+
+from repro.faults.soak import run_vm_soak
+
+
+def test_small_vm_soak_is_clean_and_deterministic():
+    a = run_vm_soak(seed=11, kills=4, max_runs=8)
+    b = run_vm_soak(seed=11, kills=4, max_runs=8)
+    assert a == b                       # byte-identical run sequence
+    assert a["ok"]
+    assert a["reached_target"]
+    assert a["totals"]["invariant_violations"] == 0
+    assert a["totals"]["vms_killed"] >= 4
+    for run in a["runs"]:
+        assert run["ok"], run
+
+
+def test_vm_soak_payload_shape():
+    p = run_vm_soak(seed=11, kills=1, max_runs=2)
+    assert set(p) == {"seed", "kill_target", "runs", "totals",
+                      "violations", "reached_target", "ok"}
+    r = p["runs"][0]
+    for key in ("run", "scenario", "policy", "at", "kills", "restarts",
+                "halts", "checkpoints", "restores", "virqs_dropped",
+                "virqs_dead_epoch", "client_reclaims", "checks", "ok"):
+        assert key in r
+    assert r["policy"] in ("restart", "restart_from_checkpoint", "halt")
+
+
+def test_vm_soak_exercises_every_policy():
+    p = run_vm_soak(seed=3, kills=8, max_runs=16)
+    assert p["ok"]
+    policies = {r["policy"] for r in p["runs"]}
+    # Across a handful of seeded runs all three death policies appear.
+    assert len(policies) >= 2

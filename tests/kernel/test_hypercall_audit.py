@@ -77,7 +77,7 @@ def test_every_number_with_empty_args(kernel, pd):
 
 
 def test_invalid_numbers_rejected_with_err_arg(kernel, pd):
-    for num in (0, 27, 30, 33, -1, 0x7FFF_FFFF):
+    for num in (0, 29, 30, 33, -1, 0x7FFF_FFFF):
         exit_ = issue(kernel, pd, num, (1, 2, 3, 4))
         assert exit_.result == HcStatus.ERR_ARG, f"hc {num}"
     assert kernel.metrics.counter(
@@ -117,6 +117,42 @@ def test_exhaustive_fuzz_no_exception_escapes(kernel, pd):
                if num != int(Hc.IVC_RECV))
     # The audit PD took abuse, not damage: it is still schedulable.
     assert pd.state is not PdState.DEAD
+
+
+def test_checkpoint_hypercall_fuzz(kernel, pd):
+    """The VM_CHECKPOINT pair answers every abuse with a status.
+
+    Arguments are ignored by design, so no malformed tuple can fault;
+    the interesting states are mid-checkpoint (BUSY) and a caller that
+    is already marked for restart (ERR_STATE)."""
+    for val in BAD_ARGS:
+        exit_ = issue(kernel, pd, Hc.VM_CHECKPOINT, (val,) * 4)
+        assert isinstance(exit_.result, int) and exit_.result >= 1
+    # Seqs are monotonic per VM even though only the latest two are kept.
+    assert issue(kernel, pd, Hc.VM_CHECKPOINT, ()).result == len(BAD_ARGS) + 1
+    q = issue(kernel, pd, Hc.VM_CHECKPOINT_QUERY, (0xDEAD_BEEF,))
+    assert q.result == len(BAD_ARGS) + 1
+
+    # A checkpoint issued *during* a checkpoint (re-entrant abuse).
+    kernel.lifecycle._checkpointing = True
+    try:
+        exit_ = issue(kernel, pd, Hc.VM_CHECKPOINT, ())
+        assert exit_.result == HcStatus.BUSY
+    finally:
+        kernel.lifecycle._checkpointing = False
+
+    # A checkpoint from a VM already marked for restart: the snapshot
+    # would race the resurrection, so the call is refused outright.
+    kernel.lifecycle.pending.add(pd.vm_id)
+    try:
+        exit_ = issue(kernel, pd, Hc.VM_CHECKPOINT, (1, 2, 3, 4))
+        assert exit_.result == HcStatus.ERR_STATE
+    finally:
+        kernel.lifecycle.pending.discard(pd.vm_id)
+    # Query still answers (read-only, safe in any state).
+    q = issue(kernel, pd, Hc.VM_CHECKPOINT_QUERY, ())
+    assert q.result == len(BAD_ARGS) + 1
+    assert pd.state is PdState.RUN
 
 
 def test_safety_net_counts_rejections(kernel, pd):
