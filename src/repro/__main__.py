@@ -94,11 +94,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(f"{'series':26} {'count':>6} {'p50':>10} {'p90':>10} "
           f"{'p99':>10}  unit")
     for sname, s in payload["series"].items():
-        if not s["count"]:
-            continue
+        if not s["count"] or "value" in s:
+            continue                      # value series printed below
         us = SeriesSummary(**s).scaled(1e6 / hz, "us")
         print(f"{sname:26} {us.count:>6} {us.p50:>10.2f} {us.p90:>10.2f} "
               f"{us.p99:>10.2f}  {us.unit}")
+    cps = payload["series"]["sim_cycles_per_sec"]["value"]
+    wall = payload["series"]["wall_clock_s"]["value"]
+    print(f"throughput: {cps:,.0f} simulated cycles per host second "
+          f"(run phase {wall:.3f} s wall)")
     acct = payload["accounting"]
     print(f"accounting: {len(acct['vms'])} VMs, "
           f"kernel {acct['kernel_cycles']} cycles, "

@@ -53,6 +53,10 @@ class CacheLevel:
         # Per set: list of line tags, most-recently-used first.
         self._tags: list[list[int]] = [[] for _ in range(self._sets)]
         self._dirty: list[set[int]] = [set() for _ in range(self._sets)]
+        # Incrementally-maintained line count; the occupancy ratio is read
+        # on every sampled access (MemorySystem.sample_block), so it must
+        # not cost an O(sets) scan.
+        self._resident = 0
         self.stats = CacheStats()
 
     # -- address helpers -------------------------------------------------
@@ -81,24 +85,50 @@ class CacheLevel:
             if len(ways) >= self._ways:
                 victim = ways.pop()
                 self.stats.evictions += 1
+                self._resident -= 1
                 if victim in self._dirty[setidx]:
                     self._dirty[setidx].discard(victim)
                     self.stats.writebacks += 1
                     victim_wb = victim
             ways.insert(0, tag)
+            self._resident += 1
         if write:
             self._dirty[setidx].add(tag)
         return victim_wb
 
     def lookup(self, paddr: int, *, write: bool = False) -> tuple[bool, int | None]:
-        """Probe + fill in one step, with correct hit/miss accounting."""
-        hit = self.probe(paddr)
-        if hit:
+        """Probe + fill in one step, with correct hit/miss accounting.
+
+        Fused single-set-scan formulation of ``probe`` + ``fill`` — the
+        hot path of every modelled access (docs/PERFORMANCE.md §2).
+        """
+        line = paddr >> self._offset_bits
+        setidx = line % self._sets
+        tag = line
+        ways = self._tags[setidx]
+        victim_wb: int | None = None
+        if tag in ways:
             self.stats.hits += 1
+            hit = True
+            if ways[0] != tag:
+                ways.remove(tag)
+                ways.insert(0, tag)
         else:
             self.stats.misses += 1
-        victim = self.fill(paddr, write=write)
-        return hit, victim
+            hit = False
+            if len(ways) >= self._ways:
+                victim = ways.pop()
+                self.stats.evictions += 1
+                self._resident -= 1
+                if victim in self._dirty[setidx]:
+                    self._dirty[setidx].discard(victim)
+                    self.stats.writebacks += 1
+                    victim_wb = victim
+            ways.insert(0, tag)
+            self._resident += 1
+        if write:
+            self._dirty[setidx].add(tag)
+        return hit, victim_wb
 
     # -- maintenance -------------------------------------------------------
 
@@ -108,6 +138,7 @@ class CacheLevel:
             s.clear()
         for d in self._dirty:
             d.clear()
+        self._resident = 0
 
     def clean_invalidate_all(self) -> int:
         """Write back all dirty lines and drop everything; returns WB count."""
@@ -123,6 +154,7 @@ class CacheLevel:
         if tag in ways:
             ways.remove(tag)
             self._dirty[setidx].discard(tag)
+            self._resident -= 1
             return True
         return False
 
@@ -138,8 +170,9 @@ class CacheLevel:
             self._tags[idx].clear()
             self._dirty[idx].clear()
         self.stats.evictions += dropped
+        self._resident -= dropped
         return dropped
 
     @property
     def resident_lines(self) -> int:
-        return sum(len(s) for s in self._tags)
+        return self._resident

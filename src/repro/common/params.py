@@ -115,6 +115,10 @@ class PlatformParams:
     quantum_ms: float = 33.0
     #: Sampling divisor for bulk (workload) memory traffic; 1 = trace every access.
     bulk_sample: int = 64
+    #: Simulation-engine fast path (docs/PERFORMANCE.md): fused bulk access
+    #: loop + memoized page walks.  Cycle-for-cycle identical to the slow
+    #: path; off exists for differential testing, not as a safety valve.
+    fastpath: bool = True
 
     def with_(self, **kw) -> "PlatformParams":
         """Return a copy with top-level fields replaced."""

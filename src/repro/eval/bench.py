@@ -18,6 +18,7 @@ interactively.
 from __future__ import annotations
 
 import json
+import time
 from typing import Any
 
 from ..obs.accounting import VmAccounting
@@ -32,7 +33,15 @@ from .scenarios import VirtScenario, build_virtualized
 
 #: Bump when the artifact layout changes; ``tools/bench_compare.py``
 #: refuses to diff artifacts of different major versions.
-SCHEMA_VERSION = 1
+#: v2: adds the ``wall_clock_s`` / ``sim_cycles_per_sec`` value series
+#: (host-time measurements; see VOLATILE_SERIES and docs/PERFORMANCE.md).
+SCHEMA_VERSION = 2
+
+#: Series measured in *host* time rather than simulated cycles.  They are
+#: the only nondeterministic part of the artifact: the byte-identity
+#: contract (docs/BENCHMARKS.md) applies to the artifact with these
+#: stripped — use :func:`strip_volatile` before byte-comparing.
+VOLATILE_SERIES = ("sim_cycles_per_sec", "wall_clock_s")
 
 #: Scenario shapes.  ``paper`` ~ the Section V setup; ``quick`` is the CI
 #: smoke profile (same structure, shorter horizon).
@@ -83,10 +92,24 @@ def run_bench(name: str = "paper", *, guests: int | None = None,
     guests = profile["guests"] if guests is None else guests
     ms = profile["ms"] if ms is None else ms
     sc = build_virtualized(guests, seed=seed)
+    t0 = time.perf_counter()
     sc.run_ms(ms)
+    wall = time.perf_counter() - t0
     k = sc.kernel
     acct: VmAccounting = k.acct
-    series = collect_series(sc)
+    series = {n: s.as_dict() for n, s in sorted(collect_series(sc).items())}
+    # Engine-throughput value series (schema v2): host wall-clock of the
+    # *run* phase only (scenario construction excluded) and the derived
+    # simulated-cycles-per-host-second rate.  ``direction`` tells the
+    # regression gate which way is worse; wall-clock is informational
+    # (machine-dependent) and never gated directly.
+    series["wall_clock_s"] = {
+        "count": 1, "kind": "value", "unit": "s",
+        "direction": "none", "value": round(wall, 6)}
+    series["sim_cycles_per_sec"] = {
+        "count": 1, "kind": "value", "unit": "cycles/s",
+        "direction": "higher",
+        "value": round(k.sim.now / wall, 1) if wall > 0 else 0.0}
     return {
         "schema_version": SCHEMA_VERSION,
         "name": name,
@@ -105,7 +128,7 @@ def run_bench(name: str = "paper", *, guests: int | None = None,
             "pcap_transfers": sc.machine.pcap.transfers,
             "completions": sc.total_completions(),
         },
-        "series": {n: s.as_dict() for n, s in sorted(series.items())},
+        "series": series,
         # VM lifecycle accounting (docs/RECOVERY.md §9).  All-zero in
         # fault-free profiles — the lifecycle schedules nothing unless a
         # VM dies or a checkpoint period is armed, so these rows prove
@@ -145,6 +168,19 @@ def run_bench(name: str = "paper", *, guests: int | None = None,
         },
         "accounting": acct.snapshot(),
     }
+
+
+def strip_volatile(payload: dict[str, Any]) -> dict[str, Any]:
+    """Copy of the artifact without its host-time series.
+
+    Two same-seed artifacts must compare equal (and serialize
+    byte-identically) after this — it is the determinism contract the
+    fast path is held to (docs/PERFORMANCE.md §5).
+    """
+    out = dict(payload)
+    out["series"] = {n: s for n, s in payload["series"].items()
+                     if n not in VOLATILE_SERIES}
+    return out
 
 
 def write_bench(payload: dict[str, Any], path: str) -> None:

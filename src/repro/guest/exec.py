@@ -25,6 +25,10 @@ class GuestExecutor:
         self.rng = make_rng(seed, stream=stream)
         self.sample = cpu.params.bulk_sample
         self._line = cpu.params.l1d.line
+        # Per-regions-tuple precomputed (bases, sizes, cdf): region tuples
+        # are tiny and repeat for every chunk of the same task, and
+        # rebuilding them cost more than the draws they weight.
+        self._region_cache: dict[tuple, tuple] = {}
 
     def code(self, va: int, n_instr: int) -> None:
         """Timed straight-line code at a guest address."""
@@ -54,11 +58,22 @@ class GuestExecutor:
 
     def _gen_addrs(self, n: int, regions: tuple[tuple[int, int], ...]) -> np.ndarray:
         rng = self.rng
-        # Pick a region per sample, weighted by size.
-        bases = np.array([self.addr_base + b for b, _ in regions], dtype=np.int64)
-        sizes = np.array([s for _, s in regions], dtype=np.int64)
-        weights = sizes / sizes.sum()
-        region_idx = rng.choice(len(regions), size=n, p=weights)
+        # Pick a region per sample, weighted by size.  The weighted pick
+        # inlines numpy's own replace=True implementation of
+        # ``rng.choice(k, size=n, p=weights)`` — one uniform draw searched
+        # against the weight CDF — so it consumes the identical random
+        # stream while the CDF is computed once per regions tuple.
+        cached = self._region_cache.get(regions)
+        if cached is None:
+            bases = np.array([self.addr_base + b for b, _ in regions],
+                             dtype=np.int64)
+            sizes = np.array([s for _, s in regions], dtype=np.int64)
+            cdf = (sizes / sizes.sum()).cumsum()
+            cdf /= cdf[-1]
+            cached = (bases, sizes, cdf)
+            self._region_cache[regions] = cached
+        bases, sizes, cdf = cached
+        region_idx = cdf.searchsorted(rng.random(n), side="right")
         offsets = (rng.random(n) * (sizes[region_idx] - self._line)).astype(np.int64)
         # Sequential bias: walk 2 of every 3 samples forward a line.
         seq = rng.integers(0, 3, size=n) != 0

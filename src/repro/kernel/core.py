@@ -187,6 +187,7 @@ class MiniNova:
         # observability layer (PCAP reconfigurations, sim event counts).
         self.machine.pcap.attach_obs(tracer=self.tracer, metrics=self.metrics)
         self.sim.attach_metrics(self.metrics)
+        self.mem.attach_metrics(self.metrics)
         # Hung-task watchdog recovery goes through the manager service.
         self.machine.prr_controller.on_hang = self._on_prr_hang
         # Failure/recovery counters, registered up front so the BENCH

@@ -6,6 +6,16 @@ decides whether the AP field is consulted at all.  Because DACR is checked
 at access time and is not cached in the TLB, Mini-NOVA can flip a guest
 between kernel-view and user-view by rewriting DACR alone — no TLB flush —
 which is exactly the paper's Section III-C trick.
+
+Fast path (docs/PERFORMANCE.md): the DACR field decode is flattened into
+a 16-entry table (rebuilt on every DACR write), and successful walk
+results are memoized keyed on ``(ttbr, vpn)``.  A memo hit replays the
+walk's timed L2 accesses — so cache state and latency evolve exactly as
+on a real walk — and only skips the functional descriptor reads and
+decoding, which are pure.  The memo is invalidated on TTBR/DACR writes,
+on any functional DRAM write (page tables live in DRAM; see
+``Dram.write_epoch``), and explicitly on lifecycle epoch bumps via
+:meth:`invalidate_walk_memo`.
 """
 
 from __future__ import annotations
@@ -17,7 +27,6 @@ from .descriptors import (
     AP,
     DomainType,
     L1Type,
-    dacr_get,
     decode_l1,
     decode_l2,
     l1_index,
@@ -40,17 +49,95 @@ class Mmu:
         self.asid = 0
         #: Walks performed (the paper's TLB-pressure story shows up here).
         self.walks = 0
+        #: Fast-path toggle (mirrors PlatformParams.fastpath; set by
+        #: MemorySystem).  Off = every walk re-reads and re-decodes its
+        #: descriptors.
+        self.fastpath = True
+        #: Walk memo: (ttbr, vpn) -> (l1_addr, l2_addr|None, pfn, ap,
+        #: domain, global_), valid while `_memo_epoch` matches the DRAM
+        #: write epoch.  Successful walks only; faults always re-walk.
+        self._walk_memo: dict[tuple[int, int], tuple] = {}
+        self._memo_epoch = -1
+        self.walk_memo_hits = 0
+        self.walk_memo_invalidations = 0
+        self._m_walk_hits = None     # optional sim.fastpath.walk_cache_hits
+        self._m_walk_invals = None
+        # Flattened DACR decode (see _rebuild_dacr_tables).
+        self._dacr_types: list[int] = []
+        self._allow: dict[tuple[bool, bool], list[bool]] = {}
+        self._rebuild_dacr_tables()
 
     # -- register interface (privileged; reached via CP15 or hypercalls) --
 
     def set_ttbr(self, ttbr: int) -> None:
         self.ttbr = ttbr & 0xFFFF_C000
+        self.invalidate_walk_memo()
 
     def set_dacr(self, dacr: int) -> None:
         self.dacr = dacr & 0xFFFF_FFFF
+        self._rebuild_dacr_tables()
+        self.invalidate_walk_memo()
 
     def set_asid(self, asid: int) -> None:
         self.asid = asid & 0xFF
+
+    # -- fast-path support -------------------------------------------------
+
+    def invalidate_walk_memo(self) -> None:
+        """Drop every memoized walk (TTBR/DACR write, lifecycle epoch bump)."""
+        if self._walk_memo:
+            self._walk_memo.clear()
+            self.walk_memo_invalidations += 1
+            if self._m_walk_invals is not None:
+                self._m_walk_invals.inc()
+        self._memo_epoch = -1
+
+    def _rebuild_dacr_tables(self) -> None:
+        """Flatten the DACR into per-domain type and permission tables.
+
+        ``_dacr_types[d]`` is the raw 2-bit field (reserved 0b10 treated
+        as NO_ACCESS, matching ``dacr_get``).  ``_allow[(priv, write)]``
+        is a 64-entry table indexed ``domain*4 + ap`` that is True iff
+        the access is permitted — the exact truth table of ``_check``,
+        so the bulk fast path can test permission with one list index.
+        """
+        types = []
+        for d in range(16):
+            raw = (self.dacr >> (d * 2)) & 0b11
+            types.append(raw if raw in (0, 1, 3) else 0)
+        self._dacr_types = types
+        allow = {}
+        for priv in (False, True):
+            for wr in (False, True):
+                tab = []
+                for dom in range(16):
+                    dt = types[dom]
+                    for ap in range(4):
+                        if dt == 0:
+                            ok = False
+                        elif dt == 3:
+                            ok = True
+                        elif ap == 0:
+                            ok = False
+                        elif ap == 1:
+                            ok = priv
+                        elif ap == 2:
+                            ok = priv or not wr
+                        else:
+                            ok = True
+                        tab.append(ok)
+                allow[(priv, wr)] = tab
+        self._allow = allow
+
+    def allow_table(self, *, privileged: bool, write: bool) -> list[bool]:
+        """Permission table for one access class (see _rebuild_dacr_tables)."""
+        return self._allow[(privileged, write)]
+
+    def attach_metrics(self, metrics) -> None:
+        """Mirror fast-path activity into ``sim.fastpath.*`` counters."""
+        self._m_walk_hits = metrics.counter("sim.fastpath.walk_cache_hits")
+        self._m_walk_invals = metrics.counter(
+            "sim.fastpath.walk_cache_invalidations")
 
     # -- translation -------------------------------------------------------
 
@@ -98,6 +185,32 @@ class Mmu:
 
     def _walk(self, vaddr: int, *, fetch: bool, write: bool,
               timed: bool = True) -> tuple[TlbEntry, int]:
+        vpn = vaddr >> 12
+        use_memo = self.fastpath and timed
+        if use_memo:
+            epoch = self.bus.dram.write_epoch
+            if epoch != self._memo_epoch:
+                if self._walk_memo:
+                    self._walk_memo.clear()
+                    self.walk_memo_invalidations += 1
+                    if self._m_walk_invals is not None:
+                        self._m_walk_invals.inc()
+                self._memo_epoch = epoch
+            hit = self._walk_memo.get((self.ttbr, vpn))
+            if hit is not None:
+                # Replay the walk's timed cache traffic (identical state
+                # evolution); skip only the pure functional decode.
+                l1_addr, l2_addr, pfn, ap, domain, global_ = hit
+                self.walks += 1
+                self.walk_memo_hits += 1
+                if self._m_walk_hits is not None:
+                    self._m_walk_hits.inc()
+                cycles = self.caches.access(l1_addr, kind=AccessKind.WALK)
+                if l2_addr is not None:
+                    cycles += self.caches.access(l2_addr, kind=AccessKind.WALK)
+                return TlbEntry(vpn=vpn, pfn=pfn, asid=self.asid, ap=ap,
+                                domain=domain, global_=global_), cycles
+
         cycles = 0
         self.walks += timed
         l1_addr = self.ttbr + l1_index(vaddr) * 4
@@ -110,7 +223,10 @@ class Mmu:
                         write=write, cycles=cycles)
         if l1.kind == L1Type.SECTION:
             pfn = (l1.base >> 12) + ((vaddr >> 12) & 0xFF)
-            return TlbEntry(vpn=vaddr >> 12, pfn=pfn, asid=self.asid,
+            if use_memo:
+                self._walk_memo[(self.ttbr, vpn)] = (
+                    l1_addr, None, pfn, l1.ap, l1.domain, not l1.ng)
+            return TlbEntry(vpn=vpn, pfn=pfn, asid=self.asid,
                             ap=l1.ap, domain=l1.domain,
                             global_=not l1.ng), cycles
 
@@ -121,13 +237,16 @@ class Mmu:
         if not l2.valid:
             self._fault(vaddr, "translation fault (L2)", fetch=fetch,
                         write=write, cycles=cycles)
-        return TlbEntry(vpn=vaddr >> 12, pfn=l2.base >> 12, asid=self.asid,
+        if use_memo:
+            self._walk_memo[(self.ttbr, vpn)] = (
+                l1_addr, l2_addr, l2.base >> 12, l2.ap, l1.domain, not l2.ng)
+        return TlbEntry(vpn=vpn, pfn=l2.base >> 12, asid=self.asid,
                         ap=l2.ap, domain=l1.domain,
                         global_=not l2.ng), cycles
 
     def _check(self, vaddr: int, entry: TlbEntry, *, privileged: bool,
                write: bool, fetch: bool, cycles: int) -> None:
-        dtype = dacr_get(self.dacr, entry.domain)
+        dtype = self._dacr_types[entry.domain]
         if dtype == DomainType.NO_ACCESS:
             self._fault(vaddr, f"domain fault (D{entry.domain} = NA)",
                         fetch=fetch, write=write, cycles=cycles)

@@ -33,6 +33,13 @@ class Dram:
         self.base = base
         self.size = size
         self._mem = np.zeros(size, dtype=np.uint8)
+        #: Bumped on every functional write (word or block).  Page-table
+        #: descriptors live in DRAM, so consumers that memoize decoded walk
+        #: results (Mmu) compare this epoch to detect that memory may have
+        #: changed under them.  Bumping on *every* write over-invalidates,
+        #: which is safe: the memo is a pure cache of descriptor decoding
+        #: (docs/PERFORMANCE.md §3).
+        self.write_epoch = 0
 
     def contains(self, paddr: int) -> bool:
         return self.base <= paddr < self.base + self.size
@@ -42,6 +49,7 @@ class Dram:
         return int(self._mem[off:off + 4].view(np.uint32)[0])
 
     def write32(self, paddr: int, value: int) -> None:
+        self.write_epoch += 1
         off = paddr - self.base
         self._mem[off:off + 4].view(np.uint32)[0] = value & 0xFFFF_FFFF
 
@@ -50,6 +58,7 @@ class Dram:
         return self._mem[off:off + n].tobytes()
 
     def write_bytes(self, paddr: int, data: bytes) -> None:
+        self.write_epoch += 1
         off = paddr - self.base
         self._mem[off:off + len(data)] = np.frombuffer(data, dtype=np.uint8)
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..cache.hierarchy import AccessKind, CacheHierarchy
+from ..common.errors import SimulationError
 from ..common.params import PlatformParams
 from .mmu import Mmu
 from .phys import Bus, FrameAllocator
@@ -40,12 +41,92 @@ class MemorySystem:
         self._tlb_fill_acc = 0
         self._l2_press_threshold = params.l2.sets * params.l2.ways // 2
         self._tlb_press_threshold = params.tlb.entries // 2
+        # Fast-path toggle (docs/PERFORMANCE.md): when on, sample_block
+        # runs a fused single-loop reformulation of translate+access and
+        # the MMU memoizes walk results.  Cycle-for-cycle identical to the
+        # slow path by construction; tests/mem/test_fastpath.py proves it.
+        self.fastpath = params.fastpath
+        self.mmu.fastpath = params.fastpath
+        #: Cycles charged through the batched bulk path (fast path only).
+        self.batched_cycles = 0
+        self._m_batched = None
+
+    def attach_metrics(self, metrics) -> None:
+        """Register ``sim.fastpath.*`` counters (called by the kernel at
+        boot so they exist at zero even before any bulk traffic)."""
+        self._m_batched = metrics.counter("sim.fastpath.batched_cycles")
+        self.mmu.attach_metrics(metrics)
 
     # -- trace-accurate accesses -------------------------------------------
 
     def touch(self, vaddr: int, *, write: bool = False, privileged: bool,
               fetch: bool = False) -> int:
         """Timing-only access; returns cycles. May raise ArchFault."""
+        mmu = self.mmu
+        if self.fastpath and mmu.enabled:
+            # Fused common case: TLB hit, access permitted, cacheable.
+            # The TLB scan is non-mutating until permission and device
+            # checks pass, so any fallthrough to the slow path below
+            # replays the identical sequence of state changes.
+            tlb = mmu.tlb
+            vpn = vaddr >> 12
+            entries = tlb._sets[vpn % tlb._nsets]
+            e = None
+            i = 0
+            for i, cand in enumerate(entries):
+                if cand.vpn == vpn and (cand.global_ or cand.asid == mmu.asid):
+                    e = cand
+                    break
+            if e is not None and mmu._allow[(privileged, write)][e.perm]:
+                paddr = e.pfn << 12 | (vaddr & 0xFFF)
+                if not self.bus.is_device(paddr):
+                    tlb.stats.hits += 1
+                    if i:
+                        entries.pop(i)
+                        entries.insert(0, e)
+                    caches = self.caches
+                    l1 = caches.l1i if fetch else caches.l1d
+                    tag = paddr >> l1._offset_bits
+                    idx1 = tag % l1._sets
+                    s1 = l1._tags[idx1]
+                    st1 = l1.stats
+                    if tag in s1:
+                        st1.hits += 1
+                        if s1[0] != tag:
+                            s1.remove(tag)
+                            s1.insert(0, tag)
+                        if write:
+                            l1._dirty[idx1].add(tag)
+                        return caches._lat_l1
+                    st1.misses += 1
+                    victim_wb = None
+                    if len(s1) >= l1._ways:
+                        victim = s1.pop()
+                        st1.evictions += 1
+                        l1._resident -= 1
+                        d = l1._dirty[idx1]
+                        if victim in d:
+                            d.discard(victim)
+                            st1.writebacks += 1
+                            victim_wb = victim
+                    s1.insert(0, tag)
+                    l1._resident += 1
+                    if write:
+                        l1._dirty[idx1].add(tag)
+                    lat = caches._lat_l1 + caches._lat_l2
+                    if victim_wb is not None:
+                        # Victim address reconstruction uses the L1D line
+                        # size for both L1s, as CacheHierarchy.access does.
+                        caches.l2.fill(
+                            victim_wb << (self.params.l1d.line.bit_length() - 1),
+                            write=True)
+                    hit2, victim2 = caches.l2.lookup(paddr, write=False)
+                    if not hit2:
+                        caches.dram_accesses += 1
+                        lat += caches._lat_dram
+                        if victim2 is not None:
+                            lat += caches._lat_dram // 4
+                    return lat
         paddr, cycles = self.mmu.translate(vaddr, privileged=privileged,
                                            write=write, fetch=fetch)
         kind = AccessKind.FETCH if fetch else AccessKind.DATA
@@ -95,15 +176,21 @@ class MemorySystem:
         """
         if len(vaddrs) == 0:
             return 0
-        total = 0
-        translate = self.mmu.translate
-        caches_access = self.caches.access
         l2_misses0 = self.caches.l2.stats.misses
         tlb_misses0 = self.mmu.tlb.stats.misses
-        for va, w in zip(vaddrs.tolist(), write_mask.tolist()):
-            paddr, c = translate(va, privileged=privileged, write=w)
-            c += caches_access(paddr, write=w, kind=AccessKind.DATA)
-            total += c
+        if self.fastpath:
+            total = self._sample_fast(vaddrs, write_mask, privileged)
+            self.batched_cycles += total * scale
+            if self._m_batched is not None:
+                self._m_batched.inc(total * scale)
+        else:
+            total = 0
+            translate = self.mmu.translate
+            caches_access = self.caches.access
+            for va, w in zip(vaddrs.tolist(), write_mask.tolist()):
+                paddr, c = translate(va, privileged=privileged, write=w)
+                c += caches_access(paddr, write=w, kind=AccessKind.DATA)
+                total += c
         # Fill-pressure amplification: the 1/scale sample produced some L2
         # fills and TLB walks; the *unsampled* remainder of the stream
         # produced ~(scale-1)x more.  Model their eviction effect
@@ -137,3 +224,189 @@ class MemorySystem:
             dropped = self.mmu.tlb.clear_random_sets(0.5, self._press_rng)
             self._tlb_fill_acc = -dropped * (scale - 1)
         return total * scale
+
+    def _sample_fast(self, vaddrs: np.ndarray, write_mask: np.ndarray,
+                     privileged: bool) -> int:
+        """Fused reformulation of the per-access translate+access loop.
+
+        One Python loop body performs the TLB lookup, the flattened DACR/AP
+        permission test and the L1D/L2 cache walk inline, mutating the
+        exact same model state (LRU order, dirty bits, stats, occupancy) in
+        the exact same order as ``Mmu.translate`` + ``CacheHierarchy.access``
+        would.  Per-level stats are accumulated in locals and flushed once
+        per block (or on a fault unwinding mid-block), which is
+        unobservable: nothing can run between the accesses of one block.
+        Uncommon work — TLB misses, permission faults — falls back to the
+        regular MMU paths so faults carry identical reasons and costs.
+        """
+        mmu = self.mmu
+        caches = self.caches
+        total = 0
+        th = tm = 0                          # TLB hit/miss deltas
+        h1 = m1 = ev1 = wb1 = res1 = 0       # L1D stat deltas
+        h2 = m2 = ev2 = wb2 = res2 = 0       # L2 stat deltas
+        dram_acc = 0
+        enabled = mmu.enabled
+        asid = mmu.asid
+        walk = mmu._walk
+        tlb = mmu.tlb
+        tlb_sets = tlb._sets
+        tlb_nsets = tlb._nsets
+        tlb_insert = tlb.insert
+        ar = mmu.allow_table(privileged=privileged, write=False)
+        aw = mmu.allow_table(privileged=privileged, write=True)
+        l1 = caches.l1d
+        l1_tags = l1._tags
+        l1_dirty = l1._dirty
+        l1_nsets = l1._sets
+        l1_ways = l1._ways
+        l1_shift = l1._offset_bits
+        l2 = caches.l2
+        l2_tags = l2._tags
+        l2_dirty = l2._dirty
+        l2_nsets = l2._sets
+        l2_ways = l2._ways
+        l2_shift = l2._offset_bits
+        lat1 = caches._lat_l1
+        lat2 = caches._lat_l2
+        lat_dram = caches._lat_dram
+        wb_cost = lat_dram // 4
+        try:
+            for va, w in zip(vaddrs.tolist(), write_mask.tolist()):
+                c = 0
+                if enabled:
+                    vpn = va >> 12
+                    entries = tlb_sets[vpn % tlb_nsets]
+                    e = None
+                    if entries:
+                        e0 = entries[0]
+                        if e0.vpn == vpn and (e0.global_ or e0.asid == asid):
+                            e = e0
+                            th += 1
+                        else:
+                            for i in range(1, len(entries)):
+                                cand = entries[i]
+                                if cand.vpn == vpn and (cand.global_
+                                                        or cand.asid == asid):
+                                    e = cand
+                                    th += 1
+                                    entries.pop(i)
+                                    entries.insert(0, cand)
+                                    break
+                    if e is None:
+                        tm += 1
+                        e, c = walk(va, fetch=False, write=w)
+                        tlb_insert(e)
+                    if not (aw if w else ar)[e.perm]:
+                        # Replicate the exact fault (reason string, cost).
+                        mmu._check(va, e, privileged=privileged, write=w,
+                                   fetch=False, cycles=c)
+                        raise SimulationError(
+                            "fastpath allow table out of sync with Mmu._check")
+                    paddr = e.pfn << 12 | (va & 0xFFF)
+                else:
+                    paddr = va
+                tag = paddr >> l1_shift
+                idx1 = tag % l1_nsets
+                s1 = l1_tags[idx1]
+                if s1 and s1[0] == tag:
+                    h1 += 1
+                    total += c + lat1
+                    if w:
+                        l1_dirty[idx1].add(tag)
+                    continue
+                if tag in s1:
+                    h1 += 1
+                    s1.remove(tag)
+                    s1.insert(0, tag)
+                    total += c + lat1
+                    if w:
+                        l1_dirty[idx1].add(tag)
+                    continue
+                m1 += 1
+                victim_wb = None
+                if len(s1) >= l1_ways:
+                    victim = s1.pop()
+                    ev1 += 1
+                    res1 -= 1
+                    d = l1_dirty[idx1]
+                    if victim in d:
+                        d.discard(victim)
+                        wb1 += 1
+                        victim_wb = victim
+                s1.insert(0, tag)
+                res1 += 1
+                if w:
+                    l1_dirty[idx1].add(tag)
+                lat = c + lat1 + lat2
+                if victim_wb is not None:
+                    # L1 victim writeback lands in L2 (fill, write=True);
+                    # a dirty L2 victim displaced by it is dropped, exactly
+                    # like CacheLevel.fill with its return value unused.
+                    tagv = (victim_wb << l1_shift) >> l2_shift
+                    idxv = tagv % l2_nsets
+                    sv = l2_tags[idxv]
+                    if tagv in sv:
+                        if sv[0] != tagv:
+                            sv.remove(tagv)
+                            sv.insert(0, tagv)
+                    else:
+                        if len(sv) >= l2_ways:
+                            v2 = sv.pop()
+                            ev2 += 1
+                            res2 -= 1
+                            dv = l2_dirty[idxv]
+                            if v2 in dv:
+                                dv.discard(v2)
+                                wb2 += 1
+                        sv.insert(0, tagv)
+                        res2 += 1
+                    l2_dirty[idxv].add(tagv)
+                tag2 = paddr >> l2_shift
+                idx2 = tag2 % l2_nsets
+                s2 = l2_tags[idx2]
+                if s2 and s2[0] == tag2:
+                    h2 += 1
+                elif tag2 in s2:
+                    h2 += 1
+                    s2.remove(tag2)
+                    s2.insert(0, tag2)
+                else:
+                    m2 += 1
+                    victim2_wb = None
+                    if len(s2) >= l2_ways:
+                        v2 = s2.pop()
+                        ev2 += 1
+                        res2 -= 1
+                        d2 = l2_dirty[idx2]
+                        if v2 in d2:
+                            d2.discard(v2)
+                            wb2 += 1
+                            victim2_wb = v2
+                    s2.insert(0, tag2)
+                    res2 += 1
+                    dram_acc += 1
+                    lat += lat_dram
+                    if victim2_wb is not None:
+                        lat += wb_cost
+                total += lat
+        finally:
+            # Flush the batched stat deltas even when a fault unwinds the
+            # loop, so the visible state matches the slow path exactly.
+            ts = tlb.stats
+            ts.hits += th
+            ts.misses += tm
+            s = l1.stats
+            s.hits += h1
+            s.misses += m1
+            s.evictions += ev1
+            s.writebacks += wb1
+            l1._resident += res1
+            s = l2.stats
+            s.hits += h2
+            s.misses += m2
+            s.evictions += ev2
+            s.writebacks += wb2
+            l2._resident += res2
+            caches.dram_accesses += dram_acc
+        return total

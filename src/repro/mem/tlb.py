@@ -9,13 +9,13 @@ mechanism Section III-C of the paper uses to make VM switches cheap.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..common.params import TlbParams
 from .descriptors import AP
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TlbEntry:
     """Cached result of one page walk."""
 
@@ -25,6 +25,12 @@ class TlbEntry:
     ap: AP
     domain: int
     global_: bool = False
+    #: Precomputed ``domain * 4 + ap`` — index into the MMU's flattened
+    #: DACR/AP permission tables (docs/PERFORMANCE.md §2).
+    perm: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "perm", self.domain * 4 + int(self.ap))
 
 
 @dataclass
@@ -57,6 +63,9 @@ class Tlb:
         self._sets: list[list[TlbEntry]] = [[] for _ in range(params.sets)]
         self._nsets = params.sets
         self._ways = params.ways
+        # Incrementally-maintained entry count: occupancy is read on every
+        # sampled access, so it must not cost an O(sets) scan.
+        self._resident = 0
         self.stats = TlbStats()
 
     def _set_of(self, vpn: int) -> list[TlbEntry]:
@@ -82,16 +91,20 @@ class Tlb:
             if e.vpn == entry.vpn and (e.global_ == entry.global_) \
                     and (e.global_ or e.asid == entry.asid):
                 entries.pop(i)
+                self._resident -= 1
                 break
         if len(entries) >= self._ways:
             entries.pop()
+            self._resident -= 1
         entries.insert(0, entry)
+        self._resident += 1
 
     # -- maintenance (targets of TLB-op hypercalls) -----------------------
 
     def flush_all(self) -> None:
         for s in self._sets:
             s.clear()
+        self._resident = 0
         self.stats.flushes += 1
 
     def flush_asid(self, asid: int) -> int:
@@ -101,6 +114,7 @@ class Tlb:
             keep = [e for e in s if e.global_ or e.asid != asid]
             n += len(s) - len(keep)
             s[:] = keep
+        self._resident -= n
         self.stats.flushes += 1
         return n
 
@@ -110,6 +124,7 @@ class Tlb:
         for i, e in enumerate(entries):
             if e.vpn == vpn and (e.global_ or e.asid == asid):
                 entries.pop(i)
+                self._resident -= 1
                 return True
         return False
 
@@ -120,8 +135,9 @@ class Tlb:
         for idx in rng.choice(self._nsets, size=n_sets, replace=False):
             dropped += len(self._sets[idx])
             self._sets[idx].clear()
+        self._resident -= dropped
         return dropped
 
     @property
     def resident(self) -> int:
-        return sum(len(s) for s in self._sets)
+        return self._resident

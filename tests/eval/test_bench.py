@@ -12,8 +12,10 @@ import pytest
 from repro.eval.bench import (
     PROFILES,
     SCHEMA_VERSION,
+    VOLATILE_SERIES,
     default_artifact_path,
     run_bench,
+    strip_volatile,
     write_bench,
 )
 
@@ -45,6 +47,7 @@ REQUIRED_SERIES = (
     "hwreq_total_cycles",
     "dpr_entry_cycles", "dpr_decide_cycles", "dpr_pcap_cycles",
     "dpr_resume_cycles", "reconfig_cycles",
+    "wall_clock_s", "sim_cycles_per_sec",
 )
 
 
@@ -89,6 +92,36 @@ class TestRunBench:
         assert lc["checkpoint_cycles"]["count"] == 0
         assert lc["restore_cycles"]["count"] == 0
 
+    def test_throughput_value_series(self, payload):
+        """Schema v2: host-time value series with gating directions."""
+        wall = payload["series"]["wall_clock_s"]
+        cps = payload["series"]["sim_cycles_per_sec"]
+        assert wall["kind"] == cps["kind"] == "value"
+        assert wall["count"] == cps["count"] == 1
+        assert wall["direction"] == "none" and wall["unit"] == "s"
+        assert cps["direction"] == "higher" and cps["unit"] == "cycles/s"
+        assert wall["value"] > 0
+        # cps == simulated cycles / run-phase wall, to rounding.
+        assert cps["value"] == pytest.approx(
+            payload["totals"]["cycles"] / wall["value"], rel=1e-3)
+
+    def test_strip_volatile_removes_only_host_time(self, payload):
+        stripped = strip_volatile(payload)
+        for name in VOLATILE_SERIES:
+            assert name in payload["series"]
+            assert name not in stripped["series"]
+        assert set(payload["series"]) - set(stripped["series"]) \
+            == set(VOLATILE_SERIES)
+        for key in payload:
+            if key != "series":
+                assert stripped[key] == payload[key]
+
+    def test_same_seed_reruns_identical_after_strip(self):
+        """The determinism contract of docs/PERFORMANCE.md §5."""
+        a = run_bench("quick", guests=1, ms=20.0, seed=9)
+        b = run_bench("quick", guests=1, ms=20.0, seed=9)
+        assert strip_volatile(a) == strip_volatile(b)
+
     def test_profiles_and_artifact_path(self):
         assert set(PROFILES) == {"paper", "quick"}
         assert default_artifact_path("paper") == "BENCH_paper.json"
@@ -109,6 +142,11 @@ def _artifact(series):
 def _series(count=10, mean=100.0, p99=200.0):
     return {"count": count, "mean": mean, "p50": mean, "p90": p99,
             "p99": p99, "min": 1.0, "max": p99, "unit": "cycles"}
+
+
+def _value(value, direction, unit="x/s"):
+    return {"count": 1, "kind": "value", "unit": unit,
+            "direction": direction, "value": value}
 
 
 class TestCompare:
@@ -149,6 +187,45 @@ class TestCompare:
         regressions, lines = bench_compare.compare(
             base, new, threshold_pct=10.0, metrics=("mean",))
         assert regressions == [] and lines == []
+
+    def test_throughput_drop_beyond_threshold_fails(self):
+        base = _artifact({"sim_cycles_per_sec": _value(5e8, "higher")})
+        new = _artifact({"sim_cycles_per_sec": _value(4e8, "higher")})
+        regressions, lines = bench_compare.compare(
+            base, new, threshold_pct=10.0, metrics=("mean",))
+        assert regressions == ["sim_cycles_per_sec"]
+        assert any("REGRESS" in line for line in lines)
+
+    def test_throughput_gain_and_small_drop_pass(self):
+        base = _artifact({"sim_cycles_per_sec": _value(5e8, "higher")})
+        for new_value in (6e8, 4.6e8):       # +20% and -8%
+            new = _artifact({"sim_cycles_per_sec": _value(new_value, "higher")})
+            regressions, _ = bench_compare.compare(
+                base, new, threshold_pct=10.0, metrics=("mean",))
+            assert regressions == [], new_value
+
+    def test_lower_is_better_value_series_gated_on_increase(self):
+        base = _artifact({"rss_bytes": _value(100.0, "lower")})
+        new = _artifact({"rss_bytes": _value(150.0, "lower")})
+        regressions, _ = bench_compare.compare(
+            base, new, threshold_pct=10.0, metrics=("mean",))
+        assert regressions == ["rss_bytes"]
+
+    def test_wall_clock_never_gated(self):
+        base = _artifact({"wall_clock_s": _value(0.1, "none")})
+        new = _artifact({"wall_clock_s": _value(9.9, "none")})
+        regressions, lines = bench_compare.compare(
+            base, new, threshold_pct=10.0, metrics=("mean",))
+        assert regressions == []
+        assert any("not gated" in line for line in lines)
+
+    def test_vanished_gated_value_series_fails(self):
+        base = _artifact({"sim_cycles_per_sec": _value(5e8, "higher")})
+        new = _artifact({})
+        regressions, lines = bench_compare.compare(
+            base, new, threshold_pct=10.0, metrics=("mean",))
+        assert regressions == ["sim_cycles_per_sec"]
+        assert any("MISSING" in line for line in lines)
 
     def test_schema_mismatch_exits_2(self):
         base = _artifact({"x_cycles": _series()})

@@ -1,0 +1,218 @@
+"""Fast-path equivalence: fastpath on/off must be cycle-for-cycle identical.
+
+docs/PERFORMANCE.md §5 is the contract these tests pin: the fused bulk
+loop, the fused touch path and the walk memo are pure reformulations of
+the cost model.  Every simulated-cycle quantity — ledgers, stats,
+accounting, fault-matrix and soak reports, bench series — must not move
+when ``PlatformParams.fastpath`` is flipped.  Plus unit tests for the
+walk-memo invalidation rules (TTBR/DACR writes, DRAM write epochs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.machine as machine_mod
+from repro.common.params import DEFAULT_PARAMS
+from repro.machine import MachineConfig
+from repro.mem.descriptors import AP, DomainType, dacr_set
+from repro.mem.ptables import PageTable
+from repro.mem.system import MemorySystem
+from repro.mem.tlb import TlbEntry
+
+SLOW_PARAMS = DEFAULT_PARAMS.with_(fastpath=False)
+
+
+def _patch_default_params(monkeypatch, params):
+    """Make every internally-constructed Machine use ``params``.
+
+    MachineConfig's default factory closes over the module-global
+    DEFAULT_PARAMS in repro.machine, so patching that name reaches the
+    builders (bench, fault matrix, soak) that take no machine_config.
+    """
+    monkeypatch.setattr(machine_mod, "DEFAULT_PARAMS", params)
+
+
+def _scenario_state(sc):
+    """Every cycle-domain observable of a virtualized run."""
+    k = sc.kernel
+    caches = sc.machine.mem.caches
+    tlb = sc.machine.mem.mmu.tlb
+    return {
+        "now": k.sim.now,
+        "ledger": dict(sc.machine.cpu.cycle_ledger),
+        "caches": {n: vars(s) for n, s in caches.snapshot().items()},
+        "dram_accesses": caches.dram_accesses,
+        "tlb": vars(tlb.stats.snapshot()),
+        "walks": sc.machine.mem.mmu.walks,
+        "accounting": k.acct.snapshot(),
+        "switches": k.vm_switch_count,
+        "hypercalls": k.hypercall_count,
+        "irqs": k.irq_count,
+    }
+
+
+class TestRunEquivalence:
+    def test_virtualized_run_state_identical(self):
+        from repro.eval.scenarios import build_virtualized
+
+        states = []
+        for params in (DEFAULT_PARAMS, SLOW_PARAMS):
+            sc = build_virtualized(
+                2, seed=3, machine_config=MachineConfig(params=params))
+            sc.run_ms(40.0)
+            states.append(_scenario_state(sc))
+        assert states[0] == states[1]
+
+    def test_bench_cycle_series_identical(self, monkeypatch):
+        from repro.eval.bench import run_bench, strip_volatile
+
+        fast = strip_volatile(run_bench("quick", guests=2, ms=40.0, seed=5))
+        _patch_default_params(monkeypatch, SLOW_PARAMS)
+        slow = strip_volatile(run_bench("quick", guests=2, ms=40.0, seed=5))
+        assert fast == slow
+
+    def test_fault_matrix_identical(self, monkeypatch):
+        from repro.faults.matrix import run_all
+
+        fast = run_all(7)
+        _patch_default_params(monkeypatch, SLOW_PARAMS)
+        slow = run_all(7)
+        assert fast == slow
+        assert fast["ok"]
+
+    def test_vm_soak_with_restores_identical(self, monkeypatch):
+        """VM kill/checkpoint/restore soak: restores rewrite guest memory
+        images through the DRAM write epoch, so this exercises the memo
+        invalidation path end to end."""
+        from repro.faults.soak import run_vm_soak
+
+        fast = run_vm_soak(seed=1, kills=4, max_runs=6)
+        _patch_default_params(monkeypatch, SLOW_PARAMS)
+        slow = run_vm_soak(seed=1, kills=4, max_runs=6)
+        assert fast == slow
+        assert fast["ok"]
+
+    def test_fastpath_counters_only_move_on_fast_path(self):
+        from repro.eval.scenarios import build_virtualized
+
+        sc = build_virtualized(
+            1, seed=2, machine_config=MachineConfig(params=DEFAULT_PARAMS))
+        sc.run_ms(20.0)
+        m = sc.kernel.metrics
+        assert m.total("sim.fastpath.batched_cycles") > 0
+        assert m.total("sim.fastpath.walk_cache_hits") > 0
+
+        sc = build_virtualized(
+            1, seed=2, machine_config=MachineConfig(params=SLOW_PARAMS))
+        sc.run_ms(20.0)
+        m = sc.kernel.metrics
+        assert m.total("sim.fastpath.batched_cycles") == 0
+        assert m.total("sim.fastpath.walk_cache_hits") == 0
+
+
+@pytest.fixture
+def walked(memsys):
+    """A memo-warm MMU: one mapped page, one completed timed walk."""
+    pt = PageTable(memsys.bus, memsys.kernel_frames)
+    mmu = memsys.mmu
+    mmu.set_ttbr(pt.l1_base)
+    mmu.set_dacr(dacr_set(0, 0, DomainType.CLIENT))
+    mmu.enabled = True
+    pt.map_page(0x8000_0000, 0x0020_0000, ap=AP.FULL, domain=0)
+    mmu.translate(0x8000_0000, privileged=True, write=False)
+    assert mmu._walk_memo      # the successful walk was memoized
+    return memsys, pt, mmu
+
+
+class TestWalkMemo:
+    def _rewalk(self, mmu, va=0x8000_0000):
+        mmu.tlb.flush_all()
+        hits = mmu.walk_memo_hits
+        mmu.translate(va, privileged=True, write=False)
+        return mmu.walk_memo_hits - hits
+
+    def test_memo_hit_on_rewalk(self, walked):
+        _, _, mmu = walked
+        assert self._rewalk(mmu) == 1
+
+    def test_ttbr_write_invalidates(self, walked):
+        _, _, mmu = walked
+        before = mmu.walk_memo_invalidations
+        mmu.set_ttbr(mmu.ttbr)
+        assert mmu.walk_memo_invalidations == before + 1
+        assert not mmu._walk_memo
+
+    def test_dacr_write_invalidates(self, walked):
+        _, _, mmu = walked
+        mmu.set_dacr(mmu.dacr)
+        assert not mmu._walk_memo
+        assert self._rewalk(mmu) == 0     # re-walked, not served from memo
+
+    def test_dram_write_epoch_invalidates(self, walked):
+        memsys, pt, mmu = walked
+        # Any functional DRAM write (here: unmapping the page) bumps the
+        # epoch; the next timed walk must re-read the descriptors and
+        # fault instead of replaying the stale memoized translation.
+        pt.unmap_page(0x8000_0000)
+        from repro.common.errors import DataAbort
+
+        mmu.tlb.flush_all()
+        with pytest.raises(DataAbort):
+            mmu.translate(0x8000_0000, privileged=True, write=False)
+
+    def test_explicit_invalidate(self, walked):
+        _, _, mmu = walked
+        mmu.invalidate_walk_memo()
+        assert not mmu._walk_memo and mmu._memo_epoch == -1
+
+    def test_faulting_walks_never_memoized(self, walked):
+        memsys, _, mmu = walked
+        from repro.common.errors import DataAbort
+
+        memo = dict(mmu._walk_memo)
+        with pytest.raises(DataAbort):
+            mmu.translate(0x9000_0000, privileged=True, write=False)
+        assert mmu._walk_memo == memo
+
+    def test_slowpath_mmu_never_memoizes(self):
+        memsys = MemorySystem(SLOW_PARAMS)
+        pt = PageTable(memsys.bus, memsys.kernel_frames)
+        mmu = memsys.mmu
+        mmu.set_ttbr(pt.l1_base)
+        mmu.set_dacr(dacr_set(0, 0, DomainType.CLIENT))
+        mmu.enabled = True
+        pt.map_page(0x8000_0000, 0x0020_0000, ap=AP.FULL, domain=0)
+        mmu.translate(0x8000_0000, privileged=True, write=False)
+        assert not mmu._walk_memo
+
+
+class TestFlattenedTables:
+    def test_tlb_entry_perm_key(self):
+        for domain in (0, 3, 15):
+            for ap in AP:
+                e = TlbEntry(vpn=1, pfn=2, asid=0, ap=ap, domain=domain)
+                assert e.perm == domain * 4 + int(ap)
+
+    def test_allow_table_matches_check(self, memsys):
+        """The 64-entry tables must be the exact truth table of _check."""
+        from repro.common.errors import DataAbort
+
+        mmu = memsys.mmu
+        mmu.set_dacr(dacr_set(dacr_set(dacr_set(0, 0, DomainType.CLIENT),
+                                       1, DomainType.MANAGER),
+                              2, DomainType.NO_ACCESS))
+        for priv in (False, True):
+            for write in (False, True):
+                tab = mmu.allow_table(privileged=priv, write=write)
+                for domain in range(16):
+                    for ap in AP:
+                        e = TlbEntry(vpn=0, pfn=0, asid=0, ap=ap,
+                                     domain=domain)
+                        try:
+                            mmu._check(0, e, privileged=priv, write=write,
+                                       fetch=False, cycles=0)
+                            allowed = True
+                        except DataAbort:
+                            allowed = False
+                        assert tab[e.perm] == allowed, (priv, write, domain, ap)

@@ -11,8 +11,17 @@ compared against the new artifact.  A relative increase above the
 threshold (default 10%) is a regression; improvements and sub-threshold
 noise pass.  A series that has samples in the baseline but is missing or
 empty in the new artifact also fails — a silently vanished measurement
-is worse than a slow one.  Exit status: 0 = clean, 1 = regression(s),
-2 = unusable input (schema mismatch, unreadable file).
+is worse than a slow one.
+
+Scalar *value* series (schema v2: ``{"kind": "value", "value": ...}``)
+are gated by their ``direction`` field: ``"higher"`` means a relative
+*decrease* beyond the threshold fails (throughput, e.g.
+``sim_cycles_per_sec``), ``"lower"`` means an increase fails, and
+``"none"`` is reported but never gated (e.g. ``wall_clock_s``, which is
+machine-dependent).
+
+Exit status: 0 = clean, 1 = regression(s), 2 = unusable input (schema
+mismatch, unreadable file).
 
 The artifact schema is documented in docs/BENCHMARKS.md; CI runs this
 against the committed baseline in ``benchmarks/baselines/``.
@@ -63,6 +72,30 @@ def compare(baseline: dict, new: dict, *, threshold_pct: float,
         if not base.get("count"):
             continue                    # nothing to regress against
         cur = new_series.get(name)
+        if "value" in base:             # scalar value series (schema v2)
+            direction = base.get("direction", "none")
+            if cur is None or "value" not in cur:
+                if direction == "none":
+                    lines.append(f"{'info':8} {name}: absent in new artifact")
+                    continue
+                regressions.append(name)
+                lines.append(f"MISSING  {name}: value series absent "
+                             f"in new artifact")
+                continue
+            b, n = float(base["value"]), float(cur["value"])
+            if direction == "none" or not b:
+                lines.append(f"{'info':8} {name}: {b:g} -> {n:g} "
+                             f"{base.get('unit', '')} (not gated)")
+                continue
+            rel = ((b - n) if direction == "higher" else (n - b)) / b * 100.0
+            regressed = rel > threshold_pct
+            if regressed:
+                regressions.append(name)
+            lines.append(f"{'REGRESS' if regressed else 'ok':8} {name}: "
+                         f"{b:g} -> {n:g} {base.get('unit', '')} "
+                         f"({-rel if direction == 'higher' else rel:+.1f}%, "
+                         f"{direction}-is-better)")
+            continue
         if cur is None or not cur.get("count"):
             regressions.append(name)
             lines.append(f"MISSING  {name}: baseline has "

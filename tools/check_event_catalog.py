@@ -16,6 +16,10 @@ the §6 metrics catalog (dotted backticked names in the first table cell),
 and additionally runs a small scenario to collect every metric name
 *registered at runtime*, which must be a subset of the documented set.
 
+**Doc links** — scans README.md, DESIGN.md and every page under
+``docs/`` for ``docs/<page>.md`` references and fails if a referenced
+page does not exist, so the docs index can never silently dangle.
+
 Exits non-zero, listing the difference, if any side has a name the other
 lacks.  Run by CI next to the test suite; run it locally with
 ``python tools/check_event_catalog.py``.
@@ -113,6 +117,24 @@ def metrics_in_doc() -> set[str]:
     return out
 
 
+#: ``docs/<page>.md`` references in prose (README, DESIGN, docs/ pages).
+DOC_LINK_RE = re.compile(r"docs/([A-Za-z0-9_][A-Za-z0-9_.-]*\.md)")
+
+
+def doc_links() -> dict[str, set[str]]:
+    """Referenced docs page name -> set of referencing files."""
+    out: dict[str, set[str]] = {}
+    sources = [REPO / "README.md", REPO / "DESIGN.md"]
+    sources += sorted((REPO / "docs").glob("*.md"))
+    for path in sources:
+        if not path.exists():
+            continue
+        rel = path.relative_to(REPO).as_posix()
+        for m in DOC_LINK_RE.finditer(path.read_text()):
+            out.setdefault(m.group(1), set()).add(rel)
+    return out
+
+
 def metrics_at_runtime() -> set[str]:
     """Metric names actually registered by a small scenario run."""
     sys.path.insert(0, str(REPO / "src"))
@@ -177,12 +199,26 @@ def main() -> int:
             print(f"  {name}", file=sys.stderr)
         failed = True
 
+    links = doc_links()
+    if not links:
+        print("error: found no docs/*.md references in README/DESIGN/docs — "
+              "the doc-link scanner is probably broken", file=sys.stderr)
+        return 2
+    broken = sorted(n for n in links if not (REPO / "docs" / n).exists())
+    if broken:
+        print("docs/ pages referenced but missing:", file=sys.stderr)
+        for name in broken:
+            print(f"  docs/{name}  (referenced from "
+                  f"{', '.join(sorted(links[name]))})", file=sys.stderr)
+        failed = True
+
     if failed:
         return 1
     print(f"event catalog OK: {len(doc)} events, "
           f"{len({f for fs in code.values() for f in fs})} emitting modules")
     print(f"metric catalog OK: {len(m_doc)} metrics documented, "
           f"{len(m_runtime)} registered at runtime")
+    print(f"doc links OK: {len(links)} docs pages referenced, all present")
     return 0
 
 
