@@ -21,6 +21,17 @@ Commands:
   Task Manager at seeded points, asserting the recovery invariants after
   every run (``--crashes N`` sets the fault budget; ``--vm-kills N``
   runs the VM crash/restore soak instead; docs/RECOVERY.md)
+* ``postmortem`` — validate and pretty-print a flight-recorder bundle
+  (docs/OBSERVABILITY.md §13)
+
+``run``, ``bench`` and ``soak`` take ``--stream-out FILE`` to write the
+JSONL telemetry stream (deterministic metric deltas at a sim-cycle
+cadence — docs/OBSERVABILITY.md §10) and ``run``/``bench`` take ``--slo
+FILE`` to evaluate a declarative SLO config on it; any breach exits
+with status 3.  ``run`` and ``faults`` keep a flight recorder armed:
+an invariant violation, failed check or unhandled exception dumps a
+post-mortem bundle (default ``FLIGHT_<cmd>.json``; ``--flight-out``
+overrides, and on ``soak`` enables it).
 """
 
 from __future__ import annotations
@@ -29,6 +40,65 @@ import argparse
 import sys
 
 from .common.units import cycles_to_ms
+
+
+def _open_stream(sc, args, *, source: str):
+    """Build the stream + SLO engine a CLI run asked for (or (None,)*3).
+
+    Returns ``(stream, engine, sink)``; exits with code 2 via
+    SystemExit on an unreadable SLO config.
+    """
+    if not (args.stream_out or args.slo):
+        return None, None, None
+    from .common.units import ms_to_cycles
+    from .obs.slo import SloEngine, load_slo_config
+    from .obs.stream import TelemetryStream
+
+    sink = None
+    if args.stream_out:
+        try:
+            sink = open(args.stream_out, "w", encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot write stream to {args.stream_out}: {exc}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+    stream = TelemetryStream(
+        sc.metrics,
+        interval_cycles=ms_to_cycles(args.stream_interval_ms,
+                                     sc.machine.params.cpu.hz),
+        sink=sink, source=source, seed=args.seed)
+    engine = None
+    if args.slo:
+        try:
+            rules = load_slo_config(args.slo)
+        except (OSError, ValueError) as exc:
+            if sink is not None:
+                sink.close()
+            print(f"error: bad SLO config {args.slo}: {exc}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+        engine = SloEngine(rules, metrics=sc.metrics)
+        engine.attach(stream)
+    stream.attach(sc.machine.sim)
+    return stream, engine, sink
+
+
+def _report_slo(engine) -> int:
+    """Print the SLO verdict; return the command exit code."""
+    from .obs.slo import EXIT_SLO_BREACH
+
+    s = engine.summary()
+    if engine.ok:
+        print(f"SLO: {len(s['rules'])} rule(s), {s['evaluations']} "
+              f"evaluations, no breaches")
+        return 0
+    print(f"SLO BREACH: {len(s['breaches'])} breach(es) across "
+          f"{len(s['rules'])} rule(s)", file=sys.stderr)
+    for b in s["breaches"]:
+        print(f"  {b['slo']} ({b['kind']}) at cycle {b['t']}: "
+              f"observed {b['observed']} vs limit {b['limit']}",
+              file=sys.stderr)
+    return EXIT_SLO_BREACH
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -42,7 +112,20 @@ def cmd_run(args: argparse.Namespace) -> int:
         kcfg = KernelConfig(trace_verbose=args.trace_verbose)
         sc = build_virtualized(args.guests, seed=args.seed,
                                verify=args.verify, kernel_config=kcfg)
-    sc.run_ms(args.ms)
+        # Always-on incident recording: a violation or crash during the
+        # run dumps a deterministic post-mortem bundle (§13).
+        from .obs.flight import FlightRecorder
+        FlightRecorder(args.flight_out or "FLIGHT_run.json").arm(
+            sc.kernel, seed=args.seed,
+            context={"command": "run", "guests": args.guests, "ms": args.ms})
+    stream, engine, sink = _open_stream(sc, args, source="run")
+    try:
+        sc.run_ms(args.ms)
+    finally:
+        if stream is not None:
+            stream.close()
+        if sink is not None:
+            sink.close()
     print(scenario_report(sc))
     if args.trace_out:
         from .obs.export import write_chrome_trace
@@ -60,6 +143,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.metrics:
         print()
         print(sc.metrics.render())
+    if stream is not None and args.stream_out:
+        print(f"wrote {stream.records} telemetry records "
+              f"({stream.deltas} deltas) to {args.stream_out}")
+    if engine is not None:
+        return _report_slo(engine)
     return 0
 
 
@@ -79,7 +167,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from .obs.analytics import SeriesSummary
 
     name = "quick" if args.quick else args.name
-    payload = run_bench(name, guests=args.guests, ms=args.ms, seed=args.seed)
+    slo_rules = None
+    if args.slo:
+        from .obs.slo import load_slo_config
+
+        try:
+            slo_rules = load_slo_config(args.slo)
+        except (OSError, ValueError) as exc:
+            print(f"error: bad SLO config {args.slo}: {exc}",
+                  file=sys.stderr)
+            return 2
+    payload = run_bench(name, guests=args.guests, ms=args.ms, seed=args.seed,
+                        stream_out=args.stream_out,
+                        stream_interval_ms=args.stream_interval_ms,
+                        slo_rules=slo_rules)
     out = args.out or default_artifact_path(name)
     try:
         write_bench(payload, out)
@@ -108,6 +209,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
           f"kernel {acct['kernel_cycles']} cycles, "
           f"idle {acct['idle_cycles']} cycles, "
           f"accounted {acct['total_accounted']} cycles")
+    if args.stream_out:
+        print(f"wrote telemetry stream to {args.stream_out}")
+    if "slo" in payload:
+        from .obs.slo import EXIT_SLO_BREACH
+
+        s = payload["slo"]
+        if s["ok"]:
+            print(f"SLO: {len(s['rules'])} rule(s), {s['evaluations']} "
+                  f"evaluations, no breaches")
+        else:
+            print(f"SLO BREACH: {len(s['breaches'])} breach(es)",
+                  file=sys.stderr)
+            for b in s["breaches"]:
+                print(f"  {b['slo']} ({b['kind']}) at cycle {b['t']}: "
+                      f"observed {b['observed']} vs limit {b['limit']}",
+                      file=sys.stderr)
+            return EXIT_SLO_BREACH
     return 0
 
 
@@ -128,11 +246,13 @@ def cmd_faults(args: argparse.Namespace) -> int:
         for site, effect in SITE_EFFECTS.items():
             print(f"  {site:22s} {effect}")
         return 0
+    flight_path = args.flight_out or "FLIGHT_faults.json"
     if args.scenario == "all":
-        payload = run_all(args.seed)
+        payload = run_all(args.seed, flight_path=flight_path)
     else:
         try:
-            payload = run_scenario(args.scenario, args.seed)
+            payload = run_scenario(args.scenario, args.seed,
+                                   flight_path=flight_path)
         except KeyError as exc:
             print(f"error: {exc.args[0]}", file=sys.stderr)
             return 2
@@ -149,7 +269,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
         sys.stdout.write(text)
     ok = payload["ok"]
     if not ok:
-        print("FAULT MATRIX: one or more checks failed", file=sys.stderr)
+        print("FAULT MATRIX: one or more checks failed "
+              f"(post-mortem bundle: {flight_path})", file=sys.stderr)
     return 0 if ok else 1
 
 
@@ -158,12 +279,34 @@ def cmd_soak(args: argparse.Namespace) -> int:
 
     from .faults.soak import run_soak, run_vm_soak
 
-    if args.vm_kills is not None:
-        payload = run_vm_soak(seed=args.seed, kills=args.vm_kills,
-                              max_runs=args.max_runs)
-    else:
-        payload = run_soak(seed=args.seed, crashes=args.crashes,
-                           max_runs=args.max_runs)
+    stream = sink = None
+    if args.stream_out:
+        from .obs.stream import TelemetryStream
+
+        try:
+            sink = open(args.stream_out, "w", encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot write stream to {args.stream_out}: {exc}",
+                  file=sys.stderr)
+            return 2
+        # A pure record bus: the soak emits one ``shard`` snapshot per
+        # run plus the merged ``aggregate`` fleet view.
+        stream = TelemetryStream(None, interval_cycles=1, sink=sink,
+                                 source="soak", seed=args.seed)
+    try:
+        if args.vm_kills is not None:
+            payload = run_vm_soak(seed=args.seed, kills=args.vm_kills,
+                                  max_runs=args.max_runs, stream=stream,
+                                  flight_path=args.flight_out)
+        else:
+            payload = run_soak(seed=args.seed, crashes=args.crashes,
+                               max_runs=args.max_runs, stream=stream,
+                               flight_path=args.flight_out)
+    finally:
+        if stream is not None:
+            stream.close()
+        if sink is not None:
+            sink.close()
     text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
     if args.out:
         try:
@@ -186,10 +329,37 @@ def cmd_soak(args: argparse.Namespace) -> int:
               f"{t['restarts']} restarts, "
               f"{t['invariant_violations']} invariant violations",
               file=sys.stderr)
+    if args.stream_out and stream is not None:
+        print(f"wrote {stream.records} telemetry records "
+              f"to {args.stream_out}", file=sys.stderr)
     if not payload["ok"]:
         print("SOAK: invariant violations or unreached fault target",
               file=sys.stderr)
     return 0 if payload["ok"] else 1
+
+
+def cmd_postmortem(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.flight import load_bundle, render_bundle, validate_bundle
+
+    try:
+        bundle = load_bundle(args.bundle)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read bundle {args.bundle}: {exc}",
+              file=sys.stderr)
+        return 2
+    problems = validate_bundle(bundle)
+    if problems:
+        print(f"invalid post-mortem bundle {args.bundle}:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(bundle, indent=2, sort_keys=True))
+    else:
+        print(render_bundle(bundle))
+    return 0
 
 
 def cmd_inventory(args: argparse.Namespace) -> int:
@@ -232,6 +402,14 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--metrics", action="store_true",
                        help="print the kernel metrics registry "
                             "(counters, gauges, histograms)")
+    _add_stream_args(p_run)
+    p_run.add_argument("--slo", metavar="FILE", default=None,
+                       help="evaluate a declarative SLO config on the "
+                            "stream; any breach exits 3 "
+                            "(docs/OBSERVABILITY.md §12)")
+    p_run.add_argument("--flight-out", metavar="FILE", default=None,
+                       help="post-mortem bundle path "
+                            "(default: FLIGHT_run.json)")
     p_run.set_defaults(fn=cmd_run)
 
     p_t3 = sub.add_parser("table3", help="regenerate Table III and Fig. 9")
@@ -252,6 +430,10 @@ def main(argv: list[str] | None = None) -> int:
     p_bench.add_argument("--seed", type=int, default=1)
     p_bench.add_argument("--out", metavar="FILE", default=None,
                          help="artifact path (default: BENCH_<name>.json)")
+    _add_stream_args(p_bench)
+    p_bench.add_argument("--slo", metavar="FILE", default=None,
+                         help="evaluate a declarative SLO config on the "
+                              "stream; any breach exits 3")
     p_bench.set_defaults(fn=cmd_bench)
 
     p_inv = sub.add_parser("inventory", help="task library + floorplan")
@@ -267,6 +449,10 @@ def main(argv: list[str] | None = None) -> int:
     p_faults.add_argument("--out", metavar="FILE", default=None,
                           help="write the JSON result to FILE instead of "
                                "stdout")
+    p_faults.add_argument("--flight-out", metavar="FILE", default=None,
+                          help="post-mortem bundle path, written when a "
+                               "scenario's checks fail "
+                               "(default: FLIGHT_faults.json)")
     p_faults.set_defaults(fn=cmd_faults)
 
     p_soak = sub.add_parser(
@@ -284,10 +470,37 @@ def main(argv: list[str] | None = None) -> int:
                         help="hard cap on scenario runs (default: 4x faults)")
     p_soak.add_argument("--out", metavar="FILE", default=None,
                         help="write the JSON result to FILE instead of stdout")
+    p_soak.add_argument("--stream-out", metavar="FILE", default=None,
+                        help="write per-run shard snapshots + the merged "
+                             "aggregate view as JSONL telemetry")
+    p_soak.add_argument("--flight-out", metavar="FILE", default=None,
+                        help="arm a flight recorder: dump a post-mortem "
+                             "bundle for the first faulted (or failing) run")
     p_soak.set_defaults(fn=cmd_soak)
+
+    p_pm = sub.add_parser(
+        "postmortem", help="validate + pretty-print a flight-recorder "
+                           "bundle (docs/OBSERVABILITY.md §13)")
+    p_pm.add_argument("bundle", help="bundle path (FLIGHT_*.json)")
+    p_pm.add_argument("--json", action="store_true",
+                      help="dump the validated bundle as JSON instead of "
+                           "the summary")
+    p_pm.set_defaults(fn=cmd_postmortem)
 
     args = ap.parse_args(argv)
     return args.fn(args)
+
+
+def _add_stream_args(p: argparse.ArgumentParser) -> None:
+    from .obs.stream import DEFAULT_INTERVAL_MS
+
+    p.add_argument("--stream-out", metavar="FILE", default=None,
+                   help="write the JSONL telemetry stream (deterministic "
+                        "metric deltas; docs/OBSERVABILITY.md §10)")
+    p.add_argument("--stream-interval-ms", type=float,
+                   default=DEFAULT_INTERVAL_MS, metavar="MS",
+                   help="emission cadence in simulated milliseconds "
+                        f"(default: {DEFAULT_INTERVAL_MS:g})")
 
 
 if __name__ == "__main__":

@@ -86,15 +86,54 @@ def collect_series(sc: VirtScenario) -> dict[str, SeriesSummary]:
 
 
 def run_bench(name: str = "paper", *, guests: int | None = None,
-              ms: float | None = None, seed: int = 1) -> dict[str, Any]:
-    """Run one bench profile and return the artifact payload."""
+              ms: float | None = None, seed: int = 1,
+              stream_out: str | None = None,
+              stream_interval_ms: float | None = None,
+              slo_rules=None) -> dict[str, Any]:
+    """Run one bench profile and return the artifact payload.
+
+    ``stream_out`` additionally writes the JSONL telemetry stream of the
+    run (docs/OBSERVABILITY.md §10); ``slo_rules`` evaluates SLOs on the
+    stream (file sink optional) and embeds their summary under an
+    ``"slo"`` key — the only key the artifact gains, and only when rules
+    were supplied, so default artifacts stay byte-identical.  Streaming
+    is an observational tap on the engine: it never schedules events, so
+    every cycle-exact series is unchanged by these options.
+    """
     profile = PROFILES.get(name, PROFILES["paper"])
     guests = profile["guests"] if guests is None else guests
     ms = profile["ms"] if ms is None else ms
     sc = build_virtualized(guests, seed=seed)
+    stream = engine = sink = None
+    if stream_out is not None or slo_rules is not None:
+        from ..common.units import ms_to_cycles
+        from ..obs.slo import SloEngine
+        from ..obs.stream import DEFAULT_INTERVAL_MS, TelemetryStream
+
+        interval_ms = (DEFAULT_INTERVAL_MS if stream_interval_ms is None
+                       else stream_interval_ms)
+        hz = sc.machine.params.cpu.hz
+        sink = (open(stream_out, "w", encoding="utf-8")
+                if stream_out is not None else None)
+        stream = TelemetryStream(
+            sc.metrics, interval_cycles=ms_to_cycles(interval_ms, hz),
+            sink=sink, source=f"bench:{name}", seed=seed,
+            meta={"guests": guests, "ms": ms})
+        if slo_rules is not None:
+            engine = SloEngine(slo_rules, metrics=sc.metrics)
+            engine.attach(stream)
+        stream.attach(sc.kernel.sim)
     t0 = time.perf_counter()
-    sc.run_ms(ms)
-    wall = time.perf_counter() - t0
+    try:
+        sc.run_ms(ms)
+        wall = time.perf_counter() - t0
+    finally:
+        # Stream teardown is host-side bookkeeping, outside the timed
+        # run phase (wall measures the engine, not the telemetry flush).
+        if stream is not None:
+            stream.close()
+        if sink is not None:
+            sink.close()
     k = sc.kernel
     acct: VmAccounting = k.acct
     series = {n: s.as_dict() for n, s in sorted(collect_series(sc).items())}
@@ -110,7 +149,11 @@ def run_bench(name: str = "paper", *, guests: int | None = None,
         "count": 1, "kind": "value", "unit": "cycles/s",
         "direction": "higher",
         "value": round(k.sim.now / wall, 1) if wall > 0 else 0.0}
+    extra: dict[str, Any] = {}
+    if engine is not None:
+        extra["slo"] = engine.summary()
     return {
+        **extra,
         "schema_version": SCHEMA_VERSION,
         "name": name,
         "scenario": {

@@ -335,15 +335,45 @@ SCENARIOS: dict[str, Callable[[int], dict[str, Any]]] = {
 }
 
 
-def run_scenario(name: str, seed: int = 1) -> dict[str, Any]:
+def _flight_on_failure(name: str, seed: int, result: dict[str, Any],
+                       capture: dict[str, Any],
+                       flight_path: str | None) -> None:
+    """Dump a post-mortem bundle when a matrix scenario's checks fail."""
+    if flight_path is None or result["ok"] or "sc" not in capture:
+        return
+    from ..obs.flight import FlightRecorder
+
+    sc = capture["sc"]
+    fr = FlightRecorder(flight_path)
+    fr.arm(sc.kernel, seed=seed,
+           plan=sc.injector.plan if sc.injector else None,
+           context={"harness": "fault-matrix", "scenario": name})
+    fr.dump("fault_matrix_failure", checks=result["checks"])
+
+
+def run_scenario(name: str, seed: int = 1, *,
+                 flight_path: str | None = None) -> dict[str, Any]:
     if name not in SCENARIOS:
         raise KeyError(f"unknown fault scenario {name!r} "
                        f"(known: {', '.join(SCENARIOS)})")
-    return SCENARIOS[name](seed)
+    capture: dict[str, Any] = {}
+    result = SCENARIOS[name](seed, _capture=capture)
+    _flight_on_failure(name, seed, result, capture, flight_path)
+    return result
 
 
-def run_all(seed: int = 1) -> dict[str, Any]:
-    results = {name: fn(seed) for name, fn in SCENARIOS.items()}
+def run_all(seed: int = 1, *,
+            flight_path: str | None = None) -> dict[str, Any]:
+    results: dict[str, Any] = {}
+    for name, fn in SCENARIOS.items():
+        capture: dict[str, Any] = {}
+        results[name] = fn(seed, _capture=capture)
+        # First failing scenario wins the bundle (the recorder path is
+        # per-invocation, so later failures would only overwrite it).
+        if flight_path is not None and not results[name]["ok"]:
+            _flight_on_failure(name, seed, results[name], capture,
+                               flight_path)
+            flight_path = None
     return {
         "seed": seed,
         "scenarios": results,

@@ -27,6 +27,8 @@ from typing import Any
 
 from ..common.rng import make_rng
 from ..hwmgr.invariants import check_invariants, check_lifecycle_invariants
+from ..obs.aggregate import MetricSnapshot
+from ..obs.flight import FlightRecorder
 from .matrix import SCENARIOS
 from .plan import SERVICE_CRASH, SERVICE_HANG, VM_KILL, FaultSpec
 
@@ -63,16 +65,56 @@ def _run_checks(sc, plan) -> tuple[dict[str, bool], list[str]]:
     return checks, violations
 
 
+def _soak_telemetry(stream, flight, *, harness: str, run: int,
+                    name: str, seed: int, sc, plan, checks, violations,
+                    fired: int, merged: MetricSnapshot,
+                    **context: Any) -> MetricSnapshot:
+    """Per-run telemetry tail shared by both soaks.
+
+    Emits the run's registry image as a ``shard`` record (returning the
+    running fleet merge), and — first qualifying run only — dumps the
+    flight-recorder bundle: on an invariant violation or failed check if
+    one occurs, otherwise for the first run where a fault actually fired
+    (the seeded-crash replay CI validates).  The soak payload itself is
+    untouched, so the byte-identity gate keeps holding.
+    """
+    run_ok = all(checks.values())
+    if stream is not None:
+        snap = MetricSnapshot.of(sc.kernel.metrics)
+        merged = merged.merge(snap)
+        stream.emit_shard(f"run-{run}", snap, harness=harness,
+                          scenario=name, seed=seed, ok=run_ok)
+    if flight is not None and flight.bundle is None \
+            and (violations or not run_ok or fired):
+        flight.arm(sc.kernel, seed=seed, plan=plan,
+                   context={"harness": harness, "run": run,
+                            "scenario": name, **context})
+        reason = ("invariant_violation" if violations
+                  else "soak_checks_failed" if not run_ok
+                  else "soak_replay")
+        flight.dump(reason, fired=fired,
+                    checks={k: bool(v) for k, v in sorted(checks.items())})
+    return merged
+
+
 def run_soak(*, seed: int = 1, crashes: int = 100,
-             max_runs: int | None = None) -> dict[str, Any]:
+             max_runs: int | None = None, stream=None,
+             flight_path: str | None = None) -> dict[str, Any]:
     """Run the scenario matrix under seeded manager crashes/hangs.
 
     Keeps cycling scenarios until at least ``crashes`` supervision
     faults have actually fired (bounded by ``max_runs``, default
     ``4 * crashes``).  Returns a JSON-serializable payload with per-run
     check maps; ``ok`` is their conjunction.
+
+    ``stream`` (a :class:`~repro.obs.stream.TelemetryStream` record bus)
+    receives one ``shard`` record per run plus the merged ``aggregate``
+    view; ``flight_path`` arms a flight recorder (see
+    :func:`_soak_telemetry`).  Both leave the payload byte-identical.
     """
     rng = make_rng(seed, stream="soak")
+    flight = FlightRecorder(flight_path) if flight_path else None
+    merged = MetricSnapshot.empty()
     names = list(SCENARIOS)
     if max_runs is None:
         max_runs = max(4 * crashes, len(names))
@@ -118,7 +160,14 @@ def run_soak(*, seed: int = 1, crashes: int = 100,
             "checks": {k: bool(v) for k, v in sorted(checks.items())},
             "ok": all(checks.values()),
         })
+        merged = _soak_telemetry(
+            stream, flight, harness="soak", run=i, name=name,
+            seed=seed + i, sc=sc, plan=plan, checks=checks,
+            violations=violations, fired=fired, merged=merged, mode=mode)
         i += 1
+    if stream is not None:
+        stream.emit_aggregate(merged, shards=len(runs), harness="soak",
+                              seed=seed)
     return {
         "seed": seed,
         "crash_target": crashes,
@@ -173,7 +222,8 @@ def _run_vm_checks(sc, plan) -> tuple[dict[str, bool], list[str]]:
 
 
 def run_vm_soak(*, seed: int = 1, kills: int = 100,
-                max_runs: int | None = None) -> dict[str, Any]:
+                max_runs: int | None = None, stream=None,
+                flight_path: str | None = None) -> dict[str, Any]:
     """Run the scenario matrix under seeded VM kills.
 
     Each iteration arms a :data:`~repro.faults.plan.VM_KILL` spec with a
@@ -181,9 +231,12 @@ def run_vm_soak(*, seed: int = 1, kills: int = 100,
     then asserts the hardware invariants (I1-I8) *plus* the VM-lifecycle
     invariants (no leaked PRR, no dead-epoch vIRQ, balanced cycle
     ledger) after every run.  Deterministic like :func:`run_soak`: four
-    RNG draws per iteration, JSON-stable payload.
+    RNG draws per iteration, JSON-stable payload.  ``stream`` /
+    ``flight_path`` behave as in :func:`run_soak`.
     """
     rng = make_rng(seed, stream="vm-soak")
+    flight = FlightRecorder(flight_path) if flight_path else None
+    merged = MetricSnapshot.empty()
     names = list(SCENARIOS)
     if max_runs is None:
         max_runs = max(4 * kills, len(names))
@@ -233,7 +286,15 @@ def run_vm_soak(*, seed: int = 1, kills: int = 100,
             "checks": {k: bool(v) for k, v in sorted(checks.items())},
             "ok": all(checks.values()),
         })
+        merged = _soak_telemetry(
+            stream, flight, harness="vm-soak", run=i, name=name,
+            seed=seed + i, sc=sc, plan=plan, checks=checks,
+            violations=violations, fired=plan.fires(VM_KILL),
+            merged=merged, policy=policy)
         i += 1
+    if stream is not None:
+        stream.emit_aggregate(merged, shards=len(runs), harness="vm-soak",
+                              seed=seed)
     return {
         "seed": seed,
         "kill_target": kills,

@@ -13,7 +13,24 @@ from ..fpga.prr import PrrStatus
 from .journal import OP_ALLOCATE
 
 __all__ = ["assert_no_vm_leaks", "check_invariants",
-           "check_lifecycle_invariants"]
+           "check_lifecycle_invariants", "report_violations"]
+
+
+def report_violations(kernel, violations, where: str) -> None:
+    """Route invariant violations to the armed flight recorder, if any.
+
+    Every checker caller (supervisor restart, soak harness, fault
+    matrix) funnels violations through here so an armed recorder dumps
+    its post-mortem bundle at the first sign of inconsistency.  The
+    caller keeps its own counting/tracing — this is the incident hook
+    only, and a no-op when nothing is armed or nothing is wrong.
+    """
+    if not violations:
+        return
+    flight = getattr(kernel, "flight", None)
+    if flight is not None:
+        flight.dump("invariant_violation", where=where,
+                    violations=list(violations))
 
 
 def check_invariants(kernel) -> list[str]:

@@ -147,6 +147,10 @@ class MiniNova:
         #: Fault injector attachment point (set by FaultInjector.attach;
         #: None = happy path, zero supervision events scheduled).
         self.faults = None
+        #: Flight-recorder attachment point (set by FlightRecorder.arm;
+        #: None = no post-mortem bundle on incident — docs/OBSERVABILITY.md
+        #: §13).  Purely observational: dumping never mutates kernel state.
+        self.flight = None
         #: Kernel-owned write-ahead intent journal for the manager; lives
         #: logically in the manager's persistent data area, so it survives
         #: a service restart (docs/RECOVERY.md).
@@ -302,9 +306,24 @@ class MiniNova:
             until: Callable[[], bool] | None = None,
             max_iterations: int = 10_000_000) -> None:
         """Main dispatch loop; returns when the condition holds or nothing
-        remains runnable and no events are pending."""
+        remains runnable and no events are pending.
+
+        Anything escaping the loop is a kernel-level incident: if a
+        flight recorder is armed, it dumps a post-mortem bundle before
+        the exception propagates.
+        """
         if not self.booted:
             raise DeviceError("boot() first")
+        try:
+            self._run_loop(until_cycles, until, max_iterations)
+        except Exception as exc:
+            if self.flight is not None:
+                from ..obs.flight import maybe_dump
+                maybe_dump(self, "unhandled_exception",
+                           error=type(exc).__name__, detail=str(exc))
+            raise
+
+    def _run_loop(self, until_cycles, until, max_iterations) -> None:
         deadline = until_cycles
         for _ in range(max_iterations):
             if deadline is not None and self.sim.now >= deadline:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from ..common.units import ms_to_cycles
 from ..cpu.modes import Mode
-from ..hwmgr.invariants import check_invariants
+from ..hwmgr.invariants import check_invariants, report_violations
 from ..hwmgr.recovery import recover
 from .memory import DACR_GUEST_USER
 
@@ -142,6 +142,7 @@ class ManagerSupervisor:
             for what in violations:
                 k.metrics.counter("supervisor.invariant_violations").inc()
                 k.tracer.mark("invariant_violation", cat="fault", what=what)
+            report_violations(k, violations, where="manager_restart")
             k.metrics.histogram("supervisor.restart_cycles").observe(
                 k.sim.now - t0)
             k.tracer.mark("manager_recovered", cat="fault", reason=reason,

@@ -12,7 +12,15 @@ the CLI's ``--trace-out``/``--metrics`` flags are built on:
 * :mod:`repro.obs.analytics`  — percentile summaries (p50/p90/p99) over
   histograms and trace-span samples, DPR critical-path chains;
 * :mod:`repro.obs.accounting` — per-VM cycle attribution (kernel /
-  guest-kernel / guest-user / idle), event tallies, PRR occupancy.
+  guest-kernel / guest-user / idle), event tallies, PRR occupancy;
+* :mod:`repro.obs.aggregate`  — mergeable :class:`MetricSnapshot` with an
+  exact K-way merge law (the fleet-aggregation substrate);
+* :mod:`repro.obs.stream`     — the schema-versioned JSONL telemetry bus
+  emitting deterministic metric deltas at a sim-cycle cadence;
+* :mod:`repro.obs.slo`        — declarative windowed SLOs (p99 ceilings,
+  rate floors, error-budget burn) evaluated on the stream;
+* :mod:`repro.obs.flight`     — the flight recorder dumping deterministic
+  post-mortem bundles on invariant violations and crashes.
 
 The event names the kernel emits are a documented contract, not an
 accident: see ``docs/OBSERVABILITY.md`` for the full catalog, the span
@@ -43,12 +51,42 @@ from .analytics import (
     summarize,
 )
 from .accounting import VmAccount, VmAccounting
+from .aggregate import (
+    HistState,
+    MetricSnapshot,
+    SNAPSHOT_SCHEMA_VERSION,
+    apply_delta,
+    delta_between,
+    merge_all,
+)
+from .stream import DEFAULT_INTERVAL_MS, STREAM_SCHEMA_VERSION, TelemetryStream
+from .slo import (
+    EXIT_SLO_BREACH,
+    SloEngine,
+    SloRule,
+    load_slo_config,
+    parse_slo_config,
+)
+from .flight import (
+    FLIGHT_SCHEMA_VERSION,
+    FlightRecorder,
+    load_bundle,
+    maybe_dump,
+    render_bundle,
+    validate_bundle,
+    write_bundle,
+)
 
 __all__ = [
-    "CATEGORIES", "Counter", "DEFAULT_RING_CAPACITY", "DprChain",
-    "EventRing", "Gauge", "Histogram", "MetricsRegistry", "SeriesSummary",
-    "TraceEvent", "Tracer", "VmAccount", "VmAccounting",
-    "chrome_trace_events", "dpr_chains", "dpr_stage_summaries",
-    "percentile_of_samples", "plirq_latency_samples", "render_metrics",
-    "summarize", "write_chrome_trace",
+    "CATEGORIES", "Counter", "DEFAULT_INTERVAL_MS", "DEFAULT_RING_CAPACITY",
+    "DprChain", "EXIT_SLO_BREACH", "EventRing", "FLIGHT_SCHEMA_VERSION",
+    "FlightRecorder", "Gauge", "HistState", "Histogram", "MetricSnapshot",
+    "MetricsRegistry", "SNAPSHOT_SCHEMA_VERSION", "STREAM_SCHEMA_VERSION",
+    "SeriesSummary", "SloEngine", "SloRule", "TelemetryStream", "TraceEvent",
+    "Tracer", "VmAccount", "VmAccounting", "apply_delta",
+    "chrome_trace_events", "delta_between", "dpr_chains",
+    "dpr_stage_summaries", "load_bundle", "load_slo_config", "maybe_dump",
+    "merge_all", "parse_slo_config", "percentile_of_samples",
+    "plirq_latency_samples", "render_bundle", "render_metrics", "summarize",
+    "validate_bundle", "write_bundle", "write_chrome_trace",
 ]

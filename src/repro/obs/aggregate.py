@@ -1,0 +1,244 @@
+"""Mergeable metric snapshots: the fleet-aggregation substrate.
+
+A :class:`MetricSnapshot` is a frozen, JSON-stable image of a
+:class:`~repro.obs.metrics.MetricsRegistry`: counter values, gauge
+values, and full histogram state (bucket vector, count, sum, min, max)
+keyed by the registry's canonical ``name{label=value,...}`` strings.
+
+Snapshots form a commutative monoid under :meth:`MetricSnapshot.merge`:
+
+* counters and gauges add,
+* histograms with identical bucket ladders merge by element-wise bucket
+  addition plus count/sum addition and min/max folds,
+* :meth:`MetricSnapshot.empty` is the identity.
+
+Because every metric in the simulation is integer-valued (cycle counts,
+event tallies), the merge is *exact*: merging K per-shard snapshots in
+any order or grouping produces byte-for-byte the same canonical JSON as
+accumulating everything in a single process.  That law is what lets a
+fleet dispatcher (ROADMAP item 1) sum per-board registries without a
+coordination step, and it is property-tested in
+``tests/obs/test_aggregate.py``.
+
+Stream deltas (docs/OBSERVABILITY.md §10) fold into snapshots with
+:func:`apply_delta`: ``empty + every delta of a run == final snapshot``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from .metrics import MetricsRegistry, _labels_str
+
+#: Bump when the snapshot/delta wire layout changes.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+
+def _fold_min(a: int | None, b: int | None) -> int | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def _fold_max(a: int | None, b: int | None) -> int | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return max(a, b)
+
+
+@dataclass(frozen=True)
+class HistState:
+    """Full mergeable histogram state (one registry histogram)."""
+
+    buckets: tuple
+    counts: tuple
+    count: int
+    sum: int
+    min: int | None
+    max: int | None
+
+    def merge(self, other: "HistState") -> "HistState":
+        if self.buckets != other.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different bucket ladders: "
+                f"{self.buckets} vs {other.buckets}")
+        return HistState(
+            buckets=self.buckets,
+            counts=tuple(a + b for a, b in zip(self.counts, other.counts)),
+            count=self.count + other.count,
+            sum=self.sum + other.sum,
+            min=_fold_min(self.min, other.min),
+            max=_fold_max(self.max, other.max))
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"buckets": list(self.buckets), "counts": list(self.counts),
+                "count": self.count, "sum": self.sum,
+                "min": self.min, "max": self.max}
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "HistState":
+        return cls(buckets=tuple(d["buckets"]), counts=tuple(d["counts"]),
+                   count=d["count"], sum=d["sum"],
+                   min=d["min"], max=d["max"])
+
+
+@dataclass(frozen=True)
+class MetricSnapshot:
+    """Immutable registry image; merge with ``+`` or :meth:`merge`."""
+
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, int] = field(default_factory=dict)
+    histograms: dict[str, HistState] = field(default_factory=dict)
+
+    @classmethod
+    def empty(cls) -> "MetricSnapshot":
+        """The merge identity."""
+        return cls()
+
+    @classmethod
+    def of(cls, registry: MetricsRegistry) -> "MetricSnapshot":
+        """Snapshot a live registry (read-only; the registry keeps going)."""
+        counters = {c.name + _labels_str(c.labels): c.value
+                    for c in registry.counters()}
+        gauges = {g.name + _labels_str(g.labels): g.value
+                  for g in registry.gauges()}
+        hists = {
+            h.name + _labels_str(h.labels): HistState(
+                buckets=tuple(h.buckets), counts=tuple(h.counts),
+                count=h.count, sum=h.sum, min=h.min, max=h.max)
+            for h in registry.histograms()}
+        return cls(counters=counters, gauges=gauges, histograms=hists)
+
+    # -- the merge law ------------------------------------------------------
+
+    def merge(self, other: "MetricSnapshot") -> "MetricSnapshot":
+        """Associative, commutative, exact for integer-valued metrics."""
+        counters = dict(self.counters)
+        for k, v in other.counters.items():
+            counters[k] = counters.get(k, 0) + v
+        gauges = dict(self.gauges)
+        for k, v in other.gauges.items():
+            gauges[k] = gauges.get(k, 0) + v
+        hists = dict(self.histograms)
+        for k, h in other.histograms.items():
+            hists[k] = hists[k].merge(h) if k in hists else h
+        return MetricSnapshot(counters=counters, gauges=gauges,
+                              histograms=hists)
+
+    def __add__(self, other: "MetricSnapshot") -> "MetricSnapshot":
+        return self.merge(other)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": SNAPSHOT_SCHEMA_VERSION,
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {k: h.as_dict()
+                           for k, h in sorted(self.histograms.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "MetricSnapshot":
+        if d.get("schema_version") != SNAPSHOT_SCHEMA_VERSION:
+            raise ValueError(
+                f"snapshot schema {d.get('schema_version')!r} != "
+                f"{SNAPSHOT_SCHEMA_VERSION}")
+        return cls(
+            counters=dict(d["counters"]),
+            gauges=dict(d["gauges"]),
+            histograms={k: HistState.from_dict(h)
+                        for k, h in d["histograms"].items()})
+
+    def canonical_bytes(self) -> bytes:
+        """The byte-identity form the merge law is stated over."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":")).encode()
+
+
+def merge_all(snapshots) -> MetricSnapshot:
+    """Fold any number of snapshots (any order — the law guarantees it)."""
+    out = MetricSnapshot.empty()
+    for s in snapshots:
+        out = out.merge(s)
+    return out
+
+
+def delta_between(prev: MetricSnapshot, cur: MetricSnapshot) -> dict[str, Any]:
+    """Sparse wire delta from ``prev`` to ``cur`` (stream record body).
+
+    Only changed entries appear.  Counter/histogram entries carry
+    *increments*; gauges carry the new absolute value (gauges are
+    point-in-time, not cumulative).  Histogram min/max carry the new
+    absolute bound when it moved (folding them with min/max is exact).
+    """
+    counters = {k: v - prev.counters.get(k, 0)
+                for k, v in cur.counters.items()
+                if v != prev.counters.get(k, 0)}
+    gauges = {k: v for k, v in cur.gauges.items()
+              if v != prev.gauges.get(k, 0) or k not in prev.gauges}
+    hists: dict[str, Any] = {}
+    for k, h in cur.histograms.items():
+        p = prev.histograms.get(k)
+        if p is not None and p == h:
+            continue
+        if p is not None and p.buckets != h.buckets:
+            raise ValueError(f"histogram {k!r} changed bucket ladder mid-run")
+        pc = p.counts if p is not None else (0,) * len(h.counts)
+        hists[k] = {
+            "buckets": list(h.buckets),
+            "counts": [a - b for a, b in zip(h.counts, pc)],
+            "count": h.count - (p.count if p else 0),
+            "sum": h.sum - (p.sum if p else 0),
+            "min": h.min, "max": h.max,
+        }
+    out: dict[str, Any] = {}
+    if counters:
+        out["counters"] = dict(sorted(counters.items()))
+    if gauges:
+        out["gauges"] = dict(sorted(gauges.items()))
+    if hists:
+        out["histograms"] = dict(sorted(hists.items()))
+    return out
+
+
+def apply_delta(snapshot: MetricSnapshot, delta: dict[str, Any]
+                ) -> MetricSnapshot:
+    """Fold one stream delta body into a snapshot.
+
+    Law: ``empty + header-snapshot + every delta == final snapshot``
+    (tested in ``tests/obs/test_stream.py``).
+    """
+    counters = dict(snapshot.counters)
+    for k, v in delta.get("counters", {}).items():
+        counters[k] = counters.get(k, 0) + v
+    gauges = dict(snapshot.gauges)
+    for k, v in delta.get("gauges", {}).items():
+        gauges[k] = v
+    hists = dict(snapshot.histograms)
+    for k, d in delta.get("histograms", {}).items():
+        add = HistState(buckets=tuple(d["buckets"]),
+                        counts=tuple(d["counts"]),
+                        count=d["count"], sum=d["sum"],
+                        min=d["min"], max=d["max"])
+        p = hists.get(k)
+        if p is None:
+            hists[k] = add
+        else:
+            hists[k] = HistState(
+                buckets=p.buckets,
+                counts=tuple(a + b for a, b in zip(p.counts, add.counts)),
+                count=p.count + add.count,
+                sum=p.sum + add.sum,
+                # Deltas carry the new absolute bounds, so folding keeps
+                # the invariant min(prev, new) == new observed min.
+                min=_fold_min(p.min, add.min),
+                max=_fold_max(p.max, add.max))
+    return MetricSnapshot(counters=counters, gauges=gauges, histograms=hists)

@@ -92,6 +92,11 @@ class Simulator:
         # idle ledger is fed from here, because only the engine knows how
         # far an idle fast-forward jumped.
         self._accounting = None
+        # Optional telemetry stream (repro.obs.stream): an *observational*
+        # tap consulted after dispatch.  It never schedules events, so the
+        # queue, the idle jump targets and every cycle-exact series are
+        # identical with streaming on or off.
+        self._stream = None
 
     def attach_metrics(self, metrics) -> None:
         """Mirror engine activity into a
@@ -105,6 +110,20 @@ class Simulator:
         """Report idle fast-forwards to a
         :class:`~repro.obs.accounting.VmAccounting` (``charge_idle``)."""
         self._accounting = accounting
+
+    def attach_stream(self, stream) -> None:
+        """Attach a :class:`~repro.obs.stream.TelemetryStream` tap.
+
+        The dispatcher calls ``stream.on_tick(now)`` whenever the clock
+        has crossed ``stream.next_due`` — a cadence check, not an event:
+        emission consumes zero simulated cycles.
+        """
+        self._stream = stream
+
+    def detach_stream(self, stream) -> None:
+        """Remove the tap (idempotent; ignores a stale stream)."""
+        if self._stream is stream:
+            self._stream = None
 
     # -- scheduling ----------------------------------------------------
 
@@ -161,6 +180,9 @@ class Simulator:
                 self._m_fired.inc()
             ev.fn(*ev.args)
             n += 1
+        s = self._stream
+        if s is not None and self.clock.now >= s.next_due:
+            s.on_tick(self.clock.now)
         return n
 
     def next_event_time(self) -> int | None:

@@ -1,0 +1,223 @@
+"""SLO engine: config validation, each rule kind, windowing, transitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.slo import (
+    EXIT_SLO_BREACH,
+    SloEngine,
+    SloRule,
+    parse_slo_config,
+)
+
+
+def _delta(t, counters=None, hist=None):
+    rec = {"type": "delta", "t": t, "seq": 0}
+    if counters:
+        rec["counters"] = counters
+    if hist:
+        rec["histograms"] = hist
+    return rec
+
+
+def _hist_delta(buckets, counts):
+    return {"buckets": list(buckets), "counts": list(counts),
+            "count": sum(counts), "sum": 0, "min": None, "max": None}
+
+
+def _p99_rule(max_cycles=1000, window=10_000, quantile=0.99):
+    return SloRule(name="p99", kind="latency_p99", window_cycles=window,
+                   params={"histogram": "k.lat", "max": max_cycles,
+                           "quantile": quantile})
+
+
+class TestParse:
+    def test_valid_config_round_trips(self):
+        rules = parse_slo_config({"slos": [
+            {"name": "a", "kind": "latency_p99", "histogram": "x.y",
+             "max": 10, "window_cycles": 100},
+            {"name": "b", "kind": "rate_floor", "numerator": "n.x",
+             "denominator": "d.x", "min_ratio": 0.9, "window_cycles": 100},
+            {"name": "c", "kind": "error_budget", "good": "g.x",
+             "bad": "b.x", "objective": 0.99, "max_burn_rate": 1.0,
+             "window_cycles": 100},
+        ]})
+        assert [r.name for r in rules] == ["a", "b", "c"]
+        assert rules[0].params["max"] == 10
+
+    @pytest.mark.parametrize("cfg,match", [
+        ({}, "'slos' list"),
+        ({"slos": [{"kind": "latency_p99"}]}, "missing 'name'"),
+        ({"slos": [{"name": "x", "kind": "nope", "window_cycles": 1}]},
+         "unknown kind"),
+        ({"slos": [{"name": "x", "kind": "latency_p99",
+                    "window_cycles": 0, "histogram": "a.b", "max": 1}]},
+         "window_cycles"),
+        ({"slos": [{"name": "x", "kind": "latency_p99",
+                    "window_cycles": 5, "max": 1}]}, "missing 'histogram'"),
+        ({"slos": [{"name": "x", "kind": "latency_p99", "histogram": "a.b",
+                    "max": 1, "window_cycles": 5, "quantile": 1.5}]},
+         "quantile"),
+        ({"slos": [{"name": "x", "kind": "error_budget", "good": "g.x",
+                    "bad": "b.x", "objective": 1.0, "max_burn_rate": 1.0,
+                    "window_cycles": 5}]}, "objective"),
+    ])
+    def test_invalid_configs_rejected(self, cfg, match):
+        with pytest.raises(ValueError, match=match):
+            parse_slo_config(cfg)
+
+    def test_duplicate_names_rejected(self):
+        rule = {"name": "x", "kind": "latency_p99", "histogram": "a.b",
+                "max": 1, "window_cycles": 5}
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_slo_config({"slos": [rule, dict(rule)]})
+
+    def test_exit_code_value(self):
+        assert EXIT_SLO_BREACH == 3
+
+
+class TestLatencyP99:
+    BUCKETS = (100, 500, 1000)
+
+    def test_under_ceiling_ok(self):
+        eng = SloEngine([_p99_rule(max_cycles=1000)])
+        eng.observe(_delta(100, hist={
+            "k.lat": _hist_delta(self.BUCKETS, (99, 1, 0, 0))}))
+        assert eng.ok and eng.breaches == []
+
+    def test_over_ceiling_breaches(self):
+        eng = SloEngine([_p99_rule(max_cycles=400)])
+        eng.observe(_delta(100, hist={
+            "k.lat": _hist_delta(self.BUCKETS, (0, 0, 50, 0))}))
+        assert not eng.ok
+        (b,) = eng.breaches
+        assert b["slo"] == "p99" and b["observed"] == 1000.0
+        assert b["limit"] == 400.0 and b["t"] == 100
+
+    def test_overflow_bucket_reports_sentinel(self):
+        eng = SloEngine([_p99_rule(max_cycles=10_000)])
+        eng.observe(_delta(100, hist={
+            "k.lat": _hist_delta(self.BUCKETS, (0, 0, 0, 5))}))
+        (b,) = eng.breaches
+        assert b["observed"] == "overflow"
+
+    def test_label_variants_merge(self):
+        eng = SloEngine([_p99_rule(max_cycles=400)])
+        eng.observe(_delta(100, hist={
+            "k.lat{vm=1}": _hist_delta(self.BUCKETS, (99, 0, 0, 0)),
+            "k.lat{vm=2}": _hist_delta(self.BUCKETS, (0, 0, 1, 0))}))
+        # p99 over the merged 100 samples is the 99th: still <= 100
+        assert eng.ok
+
+    def test_window_expiry_clears_breach(self):
+        eng = SloEngine([_p99_rule(max_cycles=400, window=1000)])
+        eng.observe(_delta(100, hist={
+            "k.lat": _hist_delta(self.BUCKETS, (0, 0, 5, 0))}))
+        assert not eng.ok and len(eng.breaches) == 1
+        # Slow samples age out; healthy ones dominate the new window.
+        eng.observe(_delta(5000, hist={
+            "k.lat": _hist_delta(self.BUCKETS, (10, 0, 0, 0))}))
+        assert len(eng.breaches) == 1          # no new transition
+        st = eng._states[0]
+        assert not st.breaching
+
+
+class TestRateFloor:
+    def _rule(self, min_ratio=0.5, min_den=2, window=10_000):
+        return SloRule(name="floor", kind="rate_floor", window_cycles=window,
+                       params={"numerator": "rec.ok", "denominator": "rec.try",
+                               "min_ratio": min_ratio,
+                               "min_denominator": min_den})
+
+    def test_below_min_denominator_not_evaluated(self):
+        eng = SloEngine([self._rule(min_den=5)])
+        eng.observe(_delta(10, counters={"rec.ok": 0, "rec.try": 2}))
+        assert eng.ok
+
+    def test_healthy_ratio_ok(self):
+        eng = SloEngine([self._rule()])
+        eng.observe(_delta(10, counters={"rec.ok": 3, "rec.try": 4}))
+        assert eng.ok
+
+    def test_low_ratio_breaches_once(self):
+        eng = SloEngine([self._rule()])
+        eng.observe(_delta(10, counters={"rec.ok": 1, "rec.try": 4}))
+        eng.observe(_delta(20, counters={"rec.ok": 0, "rec.try": 4}))
+        assert len(eng.breaches) == 1          # transition, not per-eval
+        assert eng.breaches[0]["kind"] == "rate_floor"
+
+    def test_labelled_counters_sum(self):
+        eng = SloEngine([self._rule()])
+        eng.observe(_delta(10, counters={"rec.ok{vm=1}": 2,
+                                         "rec.ok{vm=2}": 2,
+                                         "rec.try": 4}))
+        assert eng.ok
+
+
+class TestErrorBudget:
+    def _rule(self, objective=0.9, max_burn=2.0, window=10_000):
+        return SloRule(name="budget", kind="error_budget",
+                       window_cycles=window,
+                       params={"good": "io.ok", "bad": "io.err",
+                               "objective": objective,
+                               "max_burn_rate": max_burn})
+
+    def test_zero_errors_ok(self):
+        eng = SloEngine([self._rule()])
+        eng.observe(_delta(10, counters={"io.ok": 100}))
+        assert eng.ok
+
+    def test_burn_over_budget_breaches(self):
+        # objective 0.9 -> budget 0.1; 50% bad -> burn 5.0 > 2.0
+        eng = SloEngine([self._rule()])
+        eng.observe(_delta(10, counters={"io.ok": 5, "io.err": 5}))
+        (b,) = eng.breaches
+        assert b["observed"] == pytest.approx(5.0)
+        assert b["limit"] == 2.0
+
+    def test_burn_within_budget_ok(self):
+        # 15% bad -> burn 1.5 <= 2.0
+        eng = SloEngine([self._rule()])
+        eng.observe(_delta(10, counters={"io.ok": 85, "io.err": 15}))
+        assert eng.ok
+
+
+class TestEngineIntegration:
+    def test_non_delta_records_ignored(self):
+        eng = SloEngine([_p99_rule()])
+        eng.observe({"type": "header", "t": 0, "seq": 0})
+        eng.observe({"type": "end", "t": 5, "seq": 1})
+        assert eng.evaluations == 0
+
+    def test_breach_rides_the_stream(self):
+        import io
+        import json
+        from repro.obs.stream import TelemetryStream
+        sink = io.StringIO()
+        stream = TelemetryStream(None, interval_cycles=1, sink=sink)
+        eng = SloEngine([_p99_rule(max_cycles=50)])
+        eng.attach(stream)
+        # Hand the breach-triggering delta to the engine via the bus.
+        eng.observe(_delta(10, hist={
+            "k.lat": _hist_delta((100, 500, 1000), (0, 9, 0, 0))}))
+        records = [json.loads(x) for x in sink.getvalue().splitlines()]
+        assert [r["type"] for r in records] == ["slo_breach"]
+        assert records[0]["slo"] == "p99" and records[0]["t"] == 10
+
+    def test_summary_shape(self):
+        eng = SloEngine([_p99_rule()])
+        eng.observe(_delta(10, hist={
+            "k.lat": _hist_delta((100, 500, 1000), (5, 0, 0, 0))}))
+        s = eng.summary()
+        assert s == {"rules": ["p99"], "evaluations": 1,
+                     "breaches": [], "ok": True}
+
+    def test_metrics_counters(self):
+        from repro.obs.metrics import MetricsRegistry
+        reg = MetricsRegistry()
+        eng = SloEngine([_p99_rule(max_cycles=50)], metrics=reg)
+        eng.observe(_delta(10, hist={
+            "k.lat": _hist_delta((100, 500, 1000), (0, 9, 0, 0))}))
+        assert reg.total("slo.evaluations") == 1
+        assert reg.total("slo.breaches") == 1

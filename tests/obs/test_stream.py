@@ -1,0 +1,156 @@
+"""Telemetry-stream contracts: wire schema, fold law, cycle neutrality.
+
+The two load-bearing properties (docs/OBSERVABILITY.md §10):
+
+* **fold law** — the header's start snapshot plus every delta body
+  reproduces the closing snapshot exactly;
+* **cycle neutrality** — a streamed run is bit-identical to the same
+  run without streaming in everything the engine computes (final cycle,
+  every non-stream metric), and the stream itself is byte-identical
+  across same-seed runs.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.eval.scenarios import build_virtualized
+from repro.obs.aggregate import MetricSnapshot, apply_delta
+from repro.obs.stream import STREAM_SCHEMA_VERSION, TelemetryStream
+
+
+def _run_streamed(seed: int, ms: float = 25.0, interval: int = 500_000):
+    sc = build_virtualized(2, seed=seed)
+    sink = io.StringIO()
+    stream = TelemetryStream(sc.metrics, interval_cycles=interval,
+                             sink=sink, source="test", seed=seed)
+    stream.attach(sc.kernel.sim)
+    sc.run_ms(ms)
+    stream.close()
+    return sc, [json.loads(line) for line in sink.getvalue().splitlines()], \
+        sink.getvalue()
+
+
+class TestWireSchema:
+    def test_header_first_end_last_seq_monotonic(self):
+        _, records, _ = _run_streamed(seed=3)
+        assert records[0]["type"] == "header"
+        assert records[0]["schema_version"] == STREAM_SCHEMA_VERSION
+        assert records[-1]["type"] == "end"
+        assert [r["seq"] for r in records] == list(range(len(records)))
+        assert all(r["t"] <= records[-1]["t"] for r in records)
+        assert records[-1]["records"] == len(records)
+
+    def test_every_record_has_envelope(self):
+        _, records, _ = _run_streamed(seed=3)
+        for r in records:
+            assert {"type", "t", "seq"} <= set(r)
+
+    def test_deltas_are_sparse_and_nonempty(self):
+        _, records, _ = _run_streamed(seed=3)
+        deltas = [r for r in records if r["type"] == "delta"]
+        assert deltas, "a 25 ms virtualized run must emit deltas"
+        for d in deltas:
+            body = {k: v for k, v in d.items()
+                    if k not in ("type", "t", "seq")}
+            assert body, "empty deltas must be skipped"
+            for v in body.get("counters", {}).values():
+                assert v != 0
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TelemetryStream(None, interval_cycles=0)
+
+    def test_double_attach_rejected(self):
+        sc = build_virtualized(1, seed=1)
+        stream = TelemetryStream(sc.metrics, interval_cycles=1000)
+        stream.attach(sc.kernel.sim)
+        with pytest.raises(ValueError):
+            stream.attach(sc.kernel.sim)
+        stream.close()
+
+
+class TestFoldLaw:
+    def test_header_snapshot_plus_deltas_equals_final(self):
+        _, records, _ = _run_streamed(seed=5)
+        folded = MetricSnapshot.from_dict(records[0]["snapshot"])
+        for r in records:
+            if r["type"] == "delta":
+                folded = apply_delta(
+                    folded, {k: v for k, v in r.items()
+                             if k in ("counters", "gauges", "histograms")})
+        final = next(r for r in records if r["type"] == "snapshot")
+        assert folded.canonical_bytes() == \
+            MetricSnapshot.from_dict(final["snapshot"]).canonical_bytes()
+
+    def test_final_snapshot_matches_registry(self):
+        """Modulo the stream's own counters, which necessarily advance
+
+        while close() writes the snapshot record itself."""
+        sc, records, _ = _run_streamed(seed=5)
+        final = MetricSnapshot.from_dict(
+            next(r for r in records if r["type"] == "snapshot")["snapshot"])
+        live = MetricSnapshot.of(sc.metrics)
+        drop = lambda s: {k: v for k, v in s.counters.items()
+                          if not k.startswith("stream.")}
+        assert drop(final) == drop(live)
+        assert final.gauges == live.gauges
+        assert final.histograms == live.histograms
+
+
+class TestCycleNeutrality:
+    def test_streaming_changes_no_engine_state(self):
+        """Same seed, stream on vs off: identical cycles and metrics
+
+        (modulo the stream's own counters, which only exist when on)."""
+        plain = build_virtualized(2, seed=7)
+        plain.run_ms(25.0)
+        streamed, _, _ = _run_streamed(seed=7, ms=25.0)
+        assert streamed.kernel.sim.now == plain.kernel.sim.now
+        a = MetricSnapshot.of(plain.metrics)
+        b = MetricSnapshot.of(streamed.metrics)
+        b_counters = {k: v for k, v in b.counters.items()
+                      if not k.startswith("stream.")}
+        assert b_counters == a.counters
+        assert b.gauges == a.gauges
+        assert {k: h.as_dict() for k, h in b.histograms.items()} == \
+            {k: h.as_dict() for k, h in a.histograms.items()}
+
+    def test_stream_bytes_deterministic(self):
+        _, _, raw_a = _run_streamed(seed=11)
+        _, _, raw_b = _run_streamed(seed=11)
+        assert raw_a == raw_b
+
+    def test_interval_only_batches_never_shifts(self):
+        """A coarser cadence folds the same changes into fewer deltas."""
+        _, rec_fine, _ = _run_streamed(seed=7, interval=200_000)
+        _, rec_coarse, _ = _run_streamed(seed=7, interval=2_000_000)
+        def final(records):
+            return MetricSnapshot.from_dict(
+                next(r for r in records if r["type"] == "snapshot")
+                ["snapshot"])
+        fine, coarse = final(rec_fine), final(rec_coarse)
+        drop = lambda s: {k: v for k, v in s.counters.items()
+                          if not k.startswith("stream.")}
+        assert drop(fine) == drop(coarse)
+
+
+class TestHarnessRecords:
+    def test_shard_and_aggregate_records(self):
+        sink = io.StringIO()
+        bus = TelemetryStream(None, interval_cycles=1, sink=sink,
+                              source="soak", seed=1)
+        snap = MetricSnapshot(counters={"x.ops": 3})
+        bus.emit_shard("run-0", snap, ok=True)
+        bus.emit_aggregate(snap, shards=1, harness="soak")
+        bus.close()
+        records = [json.loads(x) for x in sink.getvalue().splitlines()]
+        assert [r["type"] for r in records] == ["shard", "aggregate", "end"]
+        assert records[0]["label"] == "run-0"
+        assert records[0]["info"] == {"ok": True}
+        assert records[1]["shards"] == 1
+        restored = MetricSnapshot.from_dict(records[0]["snapshot"])
+        assert restored.counters == {"x.ops": 3}

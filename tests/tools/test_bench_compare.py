@@ -1,0 +1,131 @@
+"""Formatting contract of tools/bench_compare.py's per-series diff table."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _load():
+    path = REPO_ROOT / "tools" / "bench_compare.py"
+    spec = importlib.util.spec_from_file_location("bench_compare_fmt", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+bc = _load()
+
+
+def _series(count=10, mean=100.0, p99=200.0):
+    return {"count": count, "mean": mean, "p50": mean, "p90": p99,
+            "p99": p99, "min": 1.0, "max": p99, "unit": "cycles"}
+
+
+def _artifact(series):
+    return {"schema_version": 2, "series": series}
+
+
+class TestFormatRows:
+    def test_empty(self):
+        assert bc.format_rows([]) == []
+
+    def test_columns_align_across_rows(self):
+        rows = [("ok", "short", ["a", "bb"]),
+                ("REGRESS", "a_longer_name", ["ccc", "d"])]
+        lines = bc.format_rows(rows)
+        # The second column starts at the same offset in every line.
+        assert lines[0].index("a ") == lines[1].index("ccc")
+        assert len(lines) == 2
+
+    def test_ragged_rows_allowed(self):
+        rows = [("MISSING", "x", ["explanation only"]),
+                ("ok", "y", ["m1", "m2", "n 3 -> 3"])]
+        lines = bc.format_rows(rows)
+        assert "explanation only" in lines[0]
+        assert "n 3 -> 3" in lines[1]
+
+    def test_no_trailing_whitespace(self):
+        rows = [("ok", "x", ["a"]), ("ok", "y", ["a", "b"])]
+        assert all(line == line.rstrip() for line in bc.format_rows(rows))
+
+
+class TestAllMetricsShown:
+    def test_every_gated_metric_appears_per_series(self):
+        base = _artifact({"x_cycles": _series(mean=100.0, p99=200.0)})
+        new = _artifact({"x_cycles": _series(mean=100.0, p99=200.0)})
+        _, lines = bc.compare(base, new, threshold_pct=10.0,
+                              metrics=("mean", "p99"))
+        (line,) = lines
+        assert "mean 100 -> 100 (+0.0%)" in line
+        assert "p99 200 -> 200 (+0.0%)" in line
+        assert "n 10 -> 10" in line
+
+    def test_only_breaching_metric_starred(self):
+        base = _artifact({"x_cycles": _series(mean=100.0, p99=200.0)})
+        new = _artifact({"x_cycles": {**_series(mean=125.0, p99=205.0)}})
+        regressions, lines = bc.compare(base, new, threshold_pct=10.0,
+                                        metrics=("mean", "p99"))
+        assert regressions == ["x_cycles"]
+        (line,) = lines
+        assert line.startswith("REGRESS")
+        assert "mean 100 -> 125 (+25.0%)*" in line
+        assert "p99 200 -> 205 (+2.5%)" in line
+        assert "(+2.5%)*" not in line
+
+    def test_two_axis_regression_both_starred(self):
+        base = _artifact({"x_cycles": _series(mean=100.0, p99=200.0)})
+        new = _artifact({"x_cycles": _series(mean=150.0, p99=300.0)})
+        _, lines = bc.compare(base, new, threshold_pct=10.0,
+                              metrics=("mean", "p99"))
+        (line,) = lines
+        assert "(+50.0%)*" in line and line.count("*") == 2
+
+    def test_zero_baseline_metric_shows_na(self):
+        base = _artifact({"x_cycles": {**_series(), "mean": 0.0}})
+        new = _artifact({"x_cycles": _series()})
+        _, lines = bc.compare(base, new, threshold_pct=10.0,
+                              metrics=("mean", "p99"))
+        assert "mean n/a" in lines[0]
+
+    def test_value_series_cell(self):
+        base = _artifact({"thru": {"count": 1, "kind": "value",
+                                   "unit": "x/s", "direction": "higher",
+                                   "value": 100.0}})
+        new = _artifact({"thru": {"count": 1, "kind": "value",
+                                  "unit": "x/s", "direction": "higher",
+                                  "value": 80.0}})
+        regressions, lines = bc.compare(base, new, threshold_pct=10.0,
+                                        metrics=("mean",))
+        assert regressions == ["thru"]
+        (line,) = lines
+        assert "100 -> 80 x/s (-20.0%, higher-is-better)*" in line
+
+
+class TestMainSummary:
+    def _write(self, tmp_path, name, payload):
+        p = tmp_path / name
+        p.write_text(json.dumps(payload))
+        return str(p)
+
+    def test_fail_summary_lists_every_offender(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", _artifact({
+            "a_cycles": _series(mean=100.0, p99=200.0),
+            "b_cycles": _series(mean=100.0, p99=200.0),
+            "c_cycles": _series(mean=100.0, p99=200.0)}))
+        new = self._write(tmp_path, "new.json", _artifact({
+            "a_cycles": _series(mean=150.0, p99=200.0),
+            "b_cycles": _series(mean=100.0, p99=300.0),
+            "c_cycles": _series(mean=100.0, p99=200.0)}))
+        assert bc.main([base, new]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL: 2 series regressed: a_cycles, b_cycles" in out
+
+    def test_pass_exit_zero(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json",
+                           _artifact({"a_cycles": _series()}))
+        assert bc.main([base, base]) == 0
+        assert "PASS: no series regressed" in capsys.readouterr().out

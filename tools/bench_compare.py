@@ -13,6 +13,11 @@ noise pass.  A series that has samples in the baseline but is missing or
 empty in the new artifact also fails — a silently vanished measurement
 is worse than a slow one.
 
+The report is a per-series table showing **every** gated statistic
+(baseline -> new, relative delta), with statistics beyond the threshold
+starred — not just the worst offender — so a two-axis regression is
+visible as such.  The failure summary lists every offending series.
+
 Scalar *value* series (schema v2: ``{"kind": "value", "value": ...}``)
 are gated by their ``direction`` field: ``"higher"`` means a relative
 *decrease* beyond the threshold fails (throughput, e.g.
@@ -53,15 +58,45 @@ def load_artifact(path: str) -> dict:
     return payload
 
 
+def format_rows(rows: list[tuple[str, str, list[str]]]) -> list[str]:
+    """Column-aligned table lines from ``(status, series, cells)`` rows.
+
+    Cell columns are aligned across rows by position; rows may have
+    fewer cells than others (value series have one, MISSING rows carry
+    a single explanation).
+    """
+    if not rows:
+        return []
+    w_status = max(len(s) for s, _, _ in rows)
+    w_name = max(len(n) for _, n, _ in rows)
+    widths: list[int] = []
+    for _, _, cells in rows:
+        for i, cell in enumerate(cells):
+            if i >= len(widths):
+                widths.append(0)
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    for status, name, cells in rows:
+        padded = "  ".join(c.ljust(widths[i]) for i, c in enumerate(cells))
+        lines.append(f"{status:<{w_status}}  {name:<{w_name}}  "
+                     f"{padded}".rstrip())
+    return lines
+
+
 def compare(baseline: dict, new: dict, *, threshold_pct: float,
             metrics: tuple[str, ...], only_series: list[str] | None = None
             ) -> tuple[list[str], list[str]]:
-    """Returns (regressions, report_lines)."""
+    """Returns (regressions, report_lines).
+
+    ``report_lines`` is the aligned per-series table: one row per
+    series, one cell per gated statistic (all shown, breaching ones
+    starred), plus the sample-count column.
+    """
     if baseline.get("schema_version") != new.get("schema_version"):
         _die(f"error: schema_version mismatch "
              f"({baseline.get('schema_version')} vs {new.get('schema_version')})")
     regressions: list[str] = []
-    lines: list[str] = []
+    rows: list[tuple[str, str, list[str]]] = []
     base_series = baseline["series"]
     new_series = new["series"]
     names = only_series if only_series else sorted(base_series)
@@ -74,53 +109,52 @@ def compare(baseline: dict, new: dict, *, threshold_pct: float,
         cur = new_series.get(name)
         if "value" in base:             # scalar value series (schema v2)
             direction = base.get("direction", "none")
+            unit = base.get("unit", "")
             if cur is None or "value" not in cur:
                 if direction == "none":
-                    lines.append(f"{'info':8} {name}: absent in new artifact")
+                    rows.append(("info", name, ["absent in new artifact"]))
                     continue
                 regressions.append(name)
-                lines.append(f"MISSING  {name}: value series absent "
-                             f"in new artifact")
+                rows.append(("MISSING", name,
+                             ["value series absent in new artifact"]))
                 continue
             b, n = float(base["value"]), float(cur["value"])
             if direction == "none" or not b:
-                lines.append(f"{'info':8} {name}: {b:g} -> {n:g} "
-                             f"{base.get('unit', '')} (not gated)")
+                rows.append(("info", name,
+                             [f"{b:g} -> {n:g} {unit} (not gated)"]))
                 continue
             rel = ((b - n) if direction == "higher" else (n - b)) / b * 100.0
+            signed = -rel if direction == "higher" else rel
             regressed = rel > threshold_pct
             if regressed:
                 regressions.append(name)
-            lines.append(f"{'REGRESS' if regressed else 'ok':8} {name}: "
-                         f"{b:g} -> {n:g} {base.get('unit', '')} "
-                         f"({-rel if direction == 'higher' else rel:+.1f}%, "
-                         f"{direction}-is-better)")
+            rows.append(("REGRESS" if regressed else "ok", name,
+                         [f"{b:g} -> {n:g} {unit} ({signed:+.1f}%, "
+                          f"{direction}-is-better){'*' if regressed else ''}"]))
             continue
         if cur is None or not cur.get("count"):
             regressions.append(name)
-            lines.append(f"MISSING  {name}: baseline has "
-                         f"{base['count']} samples, new artifact has none")
+            rows.append(("MISSING", name,
+                         [f"baseline has {base['count']} samples, "
+                          f"new artifact has none"]))
             continue
-        worst = float("-inf")
-        worst_metric = ""
+        cells: list[str] = []
+        breached = False
         for metric in metrics:
             b, n = base.get(metric), cur.get(metric)
-            if not b:                   # zero/absent baseline: undefined rel
+            if not b or n is None:      # zero/absent baseline: undefined rel
+                cells.append(f"{metric} n/a")
                 continue
             rel = (n - b) / b * 100.0
-            if rel > worst:
-                worst, worst_metric = rel, metric
-        if not worst_metric:
-            lines.append(f"{'ok':8} {name}: no comparable metric "
-                         f"(n {base['count']} -> {cur['count']})")
-            continue
-        regressed = worst > threshold_pct
-        if regressed:
+            over = rel > threshold_pct
+            breached |= over
+            cells.append(f"{metric} {b:g} -> {n:g} "
+                         f"({rel:+.1f}%){'*' if over else ''}")
+        cells.append(f"n {base['count']} -> {cur['count']}")
+        if breached:
             regressions.append(name)
-        lines.append(f"{'REGRESS' if regressed else 'ok':8} {name}: "
-                     f"{worst_metric} {worst:+.1f}% "
-                     f"(n {base['count']} -> {cur['count']})")
-    return regressions, lines
+        rows.append(("REGRESS" if breached else "ok", name, cells))
+    return regressions, format_rows(rows)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -16,6 +16,10 @@ the §6 metrics catalog (dotted backticked names in the first table cell),
 and additionally runs a small scenario to collect every metric name
 *registered at runtime*, which must be a subset of the documented set.
 
+**Stream records** — scans ``src/repro/obs`` for telemetry-stream
+record emissions (``._emit("type", ...)``) and checks them against the
+§10 wire-schema table (rows of the form ``| `type` | stream | ...``).
+
 **Doc links** — scans README.md, DESIGN.md and every page under
 ``docs/`` for ``docs/<page>.md`` references and fails if a referenced
 page does not exist, so the docs index can never silently dangle.
@@ -117,6 +121,37 @@ def metrics_in_doc() -> set[str]:
     return out
 
 
+#: telemetry-stream record emissions, only inside obs/ (the stream bus
+#: and its subscribers own the wire schema; nothing else emits records).
+STREAM_EMIT_RE = re.compile(r'\._emit\(\s*"([a-z0-9_]+)"')
+STREAM_ANNOT_RE = re.compile(r"#\s*obs-stream:\s*([a-z0-9_]+)")
+
+#: §10 wire-schema rows: | `type` | stream | ...
+DOC_STREAM_ROW_RE = re.compile(r"^\|\s*`([a-z0-9_]+)`\s*\|\s*stream\s*\|")
+
+
+def stream_records_in_code() -> dict[str, set[str]]:
+    """Stream record type -> set of emitting files (src/repro-relative)."""
+    out: dict[str, set[str]] = {}
+    for path in sorted((SRC / "obs").rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        text = path.read_text()
+        for rx in (STREAM_EMIT_RE, STREAM_ANNOT_RE):
+            for m in rx.finditer(text):
+                out.setdefault(m.group(1), set()).add(rel)
+    return out
+
+
+def stream_records_in_doc() -> set[str]:
+    """Record types from the §10 wire-schema table."""
+    out: set[str] = set()
+    for line in DOC.read_text().splitlines():
+        m = DOC_STREAM_ROW_RE.match(line.strip())
+        if m:
+            out.add(m.group(1))
+    return out
+
+
 #: ``docs/<page>.md`` references in prose (README, DESIGN, docs/ pages).
 DOC_LINK_RE = re.compile(r"docs/([A-Za-z0-9_][A-Za-z0-9_.-]*\.md)")
 
@@ -190,6 +225,15 @@ def main() -> int:
     failed |= _report("metrics", sorted(set(m_code) - m_doc),
                       sorted(m_doc - set(m_code)), m_code)
 
+    s_code = stream_records_in_code()
+    s_doc = stream_records_in_doc()
+    if not s_code or not s_doc:
+        print("error: found no stream-record emissions or no §10 wire-schema "
+              "rows — the stream scanner is probably broken", file=sys.stderr)
+        return 2
+    failed |= _report("stream records", sorted(set(s_code) - s_doc),
+                      sorted(s_doc - set(s_code)), s_code)
+
     m_runtime = metrics_at_runtime()
     undoc_runtime = sorted(m_runtime - m_doc)
     if undoc_runtime:
@@ -218,6 +262,7 @@ def main() -> int:
           f"{len({f for fs in code.values() for f in fs})} emitting modules")
     print(f"metric catalog OK: {len(m_doc)} metrics documented, "
           f"{len(m_runtime)} registered at runtime")
+    print(f"stream schema OK: {len(s_doc)} record types documented")
     print(f"doc links OK: {len(links)} docs pages referenced, all present")
     return 0
 
