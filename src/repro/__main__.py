@@ -21,8 +21,18 @@ Commands:
   Task Manager at seeded points, asserting the recovery invariants after
   every run (``--crashes N`` sets the fault budget; ``--vm-kills N``
   runs the VM crash/restore soak instead; docs/RECOVERY.md)
+* ``fleet``    — run a supervised multi-board fleet with open-loop tenant
+  traffic (docs/FLEET.md): placement, heartbeat failure detection and
+  checkpoint-based live migration across board fault domains.
+  ``--soak-board-kills N`` runs the chaos soak, ``--migration-demo``
+  proves a cross-board migration bit-exact, ``--bench`` writes the
+  ``BENCH_fleet_quick.json`` latency artifact
 * ``postmortem`` — validate and pretty-print a flight-recorder bundle
   (docs/OBSERVABILITY.md §13)
+
+``soak`` and ``fleet`` distinguish failure classes in their exit code:
+an actual invariant violation (the flight recorder fired) exits 4,
+any other failed check exits 1 (docs/RECOVERY.md).
 
 ``run``, ``bench`` and ``soak`` take ``--stream-out FILE`` to write the
 JSONL telemetry stream (deterministic metric deltas at a sim-cycle
@@ -332,10 +342,121 @@ def cmd_soak(args: argparse.Namespace) -> int:
     if args.stream_out and stream is not None:
         print(f"wrote {stream.records} telemetry records "
               f"to {args.stream_out}", file=sys.stderr)
-    if not payload["ok"]:
-        print("SOAK: invariant violations or unreached fault target",
+    from .faults.soak import incident_exit_code
+    if payload["incident"] is not None:
+        print(f"SOAK: {payload['incident']}", file=sys.stderr)
+    return incident_exit_code(payload)
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    from .faults.soak import incident_exit_code
+    from .fleet.dispatcher import FleetConfig
+    from .fleet.harness import (make_kill_schedule, run_fleet,
+                                run_fleet_bench, run_fleet_soak,
+                                run_migration_demo)
+
+    if args.migration_demo:
+        demo = run_migration_demo(seed=args.seed, workers=args.workers)
+        print(json.dumps(demo, indent=2, sort_keys=True))
+        if not demo["ok"]:
+            print("MIGRATION DEMO: resumed output not bit-exact or "
+                  "tenant did not finish", file=sys.stderr)
+        return 0 if demo["ok"] else 1
+
+    if args.bench:
+        from .eval.bench import default_artifact_path, write_bench
+
+        payload = run_fleet_bench(seed=args.seed, workers=args.workers)
+        out = args.out or default_artifact_path(payload["name"])
+        try:
+            write_bench(payload, out)
+        except OSError as exc:
+            print(f"error: cannot write benchmark artifact to {out}: {exc}",
+                  file=sys.stderr)
+            return 1
+        lat = payload["series"]["fleet_request_latency_cycles"]
+        print(f"fleet bench: {lat['count']} requests served, "
+              f"p50 {lat['p50']:.0f} / p99 {lat['p99']:.0f} cycles -> {out}")
+        return 0
+
+    stream = sink = None
+    if args.stream_out:
+        from .obs.stream import TelemetryStream
+
+        try:
+            sink = open(args.stream_out, "w", encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot write stream to {args.stream_out}: {exc}",
+                  file=sys.stderr)
+            return 2
+        # Record bus: one ``shard`` snapshot per board (or per soak run)
+        # plus the merged ``aggregate`` fleet view.
+        stream = TelemetryStream(None, interval_cycles=1, sink=sink,
+                                 source="fleet", seed=args.seed)
+    try:
+        if args.soak_board_kills is not None:
+            payload = run_fleet_soak(
+                seed=args.seed, board_kills=args.soak_board_kills,
+                boards=args.boards, workers=args.workers,
+                ticks=args.ticks, tenants_per_board=args.tenants_per_board,
+                stream=stream, flight_path=args.flight_out)
+        else:
+            cfg = FleetConfig(boards=args.boards, seed=args.seed,
+                              ticks=args.ticks, tick_ms=args.tick_ms,
+                              tenants_per_board=args.tenants_per_board,
+                              rate_per_tick=args.rate,
+                              workers=args.workers)
+            kills = (make_kill_schedule(cfg, kills=args.kills)
+                     if args.kills else ())
+            payload = run_fleet(cfg, kills=kills, stream=stream,
+                                flight_path=args.flight_out)
+    finally:
+        if stream is not None:
+            stream.close()
+        if sink is not None:
+            sink.close()
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as f:
+                f.write(text)
+        except OSError as exc:
+            print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    if args.soak_board_kills is not None:
+        t = payload["totals"]
+        print(f"fleet-soak: {t['runs']} runs, {t['kills_fired']} board "
+              f"kills, {t['migrations']} migrations, "
+              f"{t['tenants_shed']} tenants shed, "
+              f"{t['invariant_violations']} invariant violations",
               file=sys.stderr)
-    return 0 if payload["ok"] else 1
+    else:
+        f = payload["fleet"]
+        r = payload["requests"]
+        print(f"fleet: {len(payload['kills_fired'])} kills fired, "
+              f"{f['boards_declared_dead']} boards declared dead, "
+              f"{f['migrations']} migrations, {r['served']} requests "
+              f"served, {len(payload['violations'])} violations",
+              file=sys.stderr)
+    if args.stream_out and stream is not None:
+        print(f"wrote {stream.records} telemetry records "
+              f"to {args.stream_out}", file=sys.stderr)
+    if args.soak_board_kills is not None:
+        if payload["incident"] is not None:
+            print(f"FLEET-SOAK: {payload['incident']}", file=sys.stderr)
+        return incident_exit_code(payload)
+    if not payload["ok"]:
+        reason = ("invariant_violation" if payload["violations"]
+                  or any(payload["board_violations"].values())
+                  else "checks_failed")
+        print(f"FLEET: {reason}", file=sys.stderr)
+        return incident_exit_code({"incident": reason})
+    return 0
 
 
 def cmd_postmortem(args: argparse.Namespace) -> int:
@@ -477,6 +598,55 @@ def main(argv: list[str] | None = None) -> int:
                         help="arm a flight recorder: dump a post-mortem "
                              "bundle for the first faulted (or failing) run")
     p_soak.set_defaults(fn=cmd_soak)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="supervised multi-board fleet with live migration "
+                      "(docs/FLEET.md)")
+    p_fleet.add_argument("--boards", type=int, default=4,
+                         help="number of boards (default: 4)")
+    p_fleet.add_argument("--tenants-per-board", type=int, default=2,
+                         help="initial tenants per board (default: 2)")
+    p_fleet.add_argument("--ticks", type=int, default=32,
+                         help="dispatcher ticks to run (default: 32)")
+    p_fleet.add_argument("--tick-ms", type=float, default=2.0,
+                         help="simulated milliseconds per tick "
+                              "(default: 2.0)")
+    p_fleet.add_argument("--seed", type=int, default=1)
+    p_fleet.add_argument("--rate", type=float, default=0.1,
+                         help="mean request arrivals per tenant per tick "
+                              "(default: 0.1)")
+    p_fleet.add_argument("--kills", type=int, default=0, metavar="N",
+                         help="schedule N seeded board faults in this run "
+                              "(crash/hang/partition)")
+    p_fleet.add_argument("--workers", choices=("inline", "process"),
+                         default="inline",
+                         help="board hosting: in-process (deterministic "
+                              "default) or one worker process per board")
+    p_fleet.add_argument("--soak-board-kills", type=int, default=None,
+                         metavar="N",
+                         help="run the chaos soak instead: repeat seeded "
+                              "fleet runs until N board faults fired, "
+                              "sweeping F1-F6 + board invariants each run")
+    p_fleet.add_argument("--migration-demo", action="store_true",
+                         help="run the live-migration acceptance proof: "
+                              "crash a board mid-workload, finish on a "
+                              "survivor, diff the output bit-exactly")
+    p_fleet.add_argument("--bench", action="store_true",
+                         help="write the fleet quick-bench artifact "
+                              "(BENCH_fleet_quick.json) instead of a "
+                              "report")
+    p_fleet.add_argument("--out", metavar="FILE", default=None,
+                         help="write the JSON result (or bench artifact) "
+                              "to FILE instead of stdout")
+    p_fleet.add_argument("--stream-out", metavar="FILE", default=None,
+                         help="write per-board/per-run shard snapshots + "
+                              "the merged aggregate view as JSONL "
+                              "telemetry")
+    p_fleet.add_argument("--flight-out", metavar="FILE", default=None,
+                         help="arm a flight recorder: dump a post-mortem "
+                              "bundle from the implicated board on the "
+                              "first fleet invariant violation")
+    p_fleet.set_defaults(fn=cmd_fleet)
 
     p_pm = sub.add_parser(
         "postmortem", help="validate + pretty-print a flight-recorder "

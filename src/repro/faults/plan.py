@@ -25,7 +25,15 @@ site                    effect at the site
 ``service.crash``        the manager service dies at a named crashpoint
 ``service.hang``         the manager service stops draining its mailbox
 ``vm.kill``              a guest VM is killed outright (lifecycle recovery)
+``board.crash``          a fleet board's worker dies outright (docs/FLEET.md)
+``board.hang``           a fleet board freezes: alive but makes no progress
+``board.partition``      a fleet board is isolated from the dispatcher
 ======================  =====================================================
+
+The three ``board.*`` sites are fleet-level fault domains: they are
+consulted by the dispatcher's :class:`~repro.fleet.rpc.BoardLink`
+(not by on-board device code) and take a whole
+:class:`~repro.fleet.board.BoardServer` with them — see docs/FLEET.md §4.
 """
 
 from __future__ import annotations
@@ -47,6 +55,9 @@ GUEST_WILD_POINTER = "guest.wild_pointer"
 SERVICE_CRASH = "service.crash"
 SERVICE_HANG = "service.hang"
 VM_KILL = "vm.kill"
+BOARD_CRASH = "board.crash"
+BOARD_HANG = "board.hang"
+BOARD_PARTITION = "board.partition"
 
 #: One-line effect per site, used by ``python -m repro faults --list``.
 SITE_EFFECTS = {
@@ -61,6 +72,9 @@ SITE_EFFECTS = {
     SERVICE_CRASH: "the manager service dies at a named crashpoint",
     SERVICE_HANG: "the manager service stops draining its mailbox",
     VM_KILL: "a guest VM is killed outright (lifecycle recovery)",
+    BOARD_CRASH: "a fleet board's worker dies outright (docs/FLEET.md)",
+    BOARD_HANG: "a fleet board freezes: alive but makes no progress",
+    BOARD_PARTITION: "a fleet board is isolated from the dispatcher",
 }
 
 #: Every site the injector understands; plans naming others are rejected.

@@ -37,6 +37,40 @@ from .plan import SERVICE_CRASH, SERVICE_HANG, VM_KILL, FaultSpec
 #: enough to spread crashes across early and late requests.
 _MAX_AFTER = 12
 
+#: CLI exit code for a soak that failed its checks or missed the fault
+#: target without any invariant tripping (an inconclusive / weak run).
+EXIT_CHECKS_FAILED = 1
+#: CLI exit code for a soak whose flight recorder fired on an actual
+#: invariant violation — the "stop the line" signal CI treats specially
+#: (distinct from :data:`~repro.obs.slo.EXIT_SLO_BREACH` = 3).
+EXIT_INVARIANT_VIOLATION = 4
+
+
+def classify_incident(violations, runs_ok: bool,
+                      reached_target: bool) -> str | None:
+    """The payload's ``incident`` field: what kind of failure, if any.
+
+    ``"invariant_violation"`` when any invariant sweep reported a
+    violation (the flight recorder fired), ``"checks_failed"`` for any
+    other failure (a per-run check tripped, or the fault target was not
+    reached), ``None`` for a clean soak.
+    """
+    if violations:
+        return "invariant_violation"
+    if not runs_ok or not reached_target:
+        return "checks_failed"
+    return None
+
+
+def incident_exit_code(payload: dict[str, Any]) -> int:
+    """Map a soak payload's ``incident`` field to a process exit code."""
+    incident = payload.get("incident")
+    if incident == "invariant_violation":
+        return EXIT_INVARIANT_VIOLATION
+    if incident is not None:
+        return EXIT_CHECKS_FAILED
+    return 0
+
 
 def _run_checks(sc, plan) -> tuple[dict[str, bool], list[str]]:
     kernel = sc.kernel
@@ -168,6 +202,9 @@ def run_soak(*, seed: int = 1, crashes: int = 100,
     if stream is not None:
         stream.emit_aggregate(merged, shards=len(runs), harness="soak",
                               seed=seed)
+    runs_ok = bool(runs) and all(r["ok"] for r in runs)
+    reached = fired_total >= crashes
+    incident = classify_incident(all_violations, runs_ok, reached)
     return {
         "seed": seed,
         "crash_target": crashes,
@@ -179,9 +216,9 @@ def run_soak(*, seed: int = 1, crashes: int = 100,
             "invariant_violations": len(all_violations),
         },
         "violations": all_violations,
-        "reached_target": fired_total >= crashes,
-        "ok": bool(runs) and all(r["ok"] for r in runs)
-        and not all_violations and fired_total >= crashes,
+        "reached_target": reached,
+        "incident": incident,
+        "ok": incident is None,
     }
 
 
@@ -295,6 +332,9 @@ def run_vm_soak(*, seed: int = 1, kills: int = 100,
     if stream is not None:
         stream.emit_aggregate(merged, shards=len(runs), harness="vm-soak",
                               seed=seed)
+    runs_ok = bool(runs) and all(r["ok"] for r in runs)
+    reached = killed_total >= kills
+    incident = classify_incident(all_violations, runs_ok, reached)
     return {
         "seed": seed,
         "kill_target": kills,
@@ -307,7 +347,7 @@ def run_vm_soak(*, seed: int = 1, kills: int = 100,
             "invariant_violations": len(all_violations),
         },
         "violations": all_violations,
-        "reached_target": killed_total >= kills,
-        "ok": bool(runs) and all(r["ok"] for r in runs)
-        and not all_violations and killed_total >= kills,
+        "reached_target": reached,
+        "incident": incident,
+        "ok": incident is None,
     }

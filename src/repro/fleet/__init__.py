@@ -1,0 +1,29 @@
+"""Fleet layer: supervised multi-board serving with live migration.
+
+The "cloud of Zynqs" of ROADMAP item 1 (docs/FLEET.md): N independent
+:class:`~repro.machine.Machine` boards behind a supervised dispatcher —
+placement by PRR availability and load, heartbeat failure detection,
+checkpoint-based live migration across board fault domains
+(``board.crash`` / ``board.hang`` / ``board.partition``), fleet
+invariants F1-F6, and per-board telemetry folded through the mergeable
+snapshot law.
+"""
+
+from .board import BoardServer, decode_checkpoint, encode_checkpoint
+from .detector import FailureDetector
+from .dispatcher import Dispatcher, FleetConfig, KillSpec
+from .harness import (make_kill_schedule, run_fleet, run_fleet_bench,
+                      run_fleet_soak, run_migration_demo)
+from .invariants import check_fleet_invariants
+from .rpc import BoardLink, BoardUnreachable
+from .tenant import TenantRecord, TenantSpec, make_service_task
+from .traffic import TrafficModel
+
+__all__ = [
+    "BoardLink", "BoardServer", "BoardUnreachable", "Dispatcher",
+    "FailureDetector", "FleetConfig", "KillSpec", "TenantRecord",
+    "TenantSpec", "TrafficModel", "check_fleet_invariants",
+    "decode_checkpoint", "encode_checkpoint", "make_kill_schedule",
+    "make_service_task", "run_fleet", "run_fleet_bench",
+    "run_fleet_soak", "run_migration_demo",
+]

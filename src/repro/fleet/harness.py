@@ -1,0 +1,370 @@
+"""Fleet run harnesses: traffic runs, chaos soak, migration proof, bench.
+
+Three entry points sit behind ``python -m repro fleet``:
+
+* :func:`run_fleet` — one open-loop traffic run over a
+  :class:`~repro.fleet.dispatcher.FleetConfig`, with an optional board
+  kill schedule.  Returns a JSON-stable payload (byte-identical across
+  same-seed reruns — the CI gate diffs two of them).
+* :func:`run_fleet_soak` — the chaos harness: repeated small fleet runs
+  under seeded board kills until the target fire count is reached, with
+  fleet F1-F6 **and** per-board I1-I8/L1-L6 sweeps after every run.
+* :func:`run_migration_demo` — the acceptance proof: a restartable
+  FFT/QAM tenant is killed mid-run with its board and must finish on
+  another board with **bit-exact** final output.
+
+:func:`run_fleet_bench` produces a schema-v2 bench artifact
+(``BENCH_fleet_quick.json``) whose request-latency percentiles CI gates
+with ``tools/bench_compare.py`` against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from ..common.rng import make_rng
+from ..eval.bench import SCHEMA_VERSION
+from ..faults.plan import BOARD_CRASH, BOARD_HANG, BOARD_PARTITION
+from ..faults.soak import classify_incident
+from ..obs.aggregate import MetricSnapshot
+from ..obs.analytics import SeriesSummary
+from ..obs.flight import write_bundle
+from .dispatcher import Dispatcher, FleetConfig, KillSpec
+from .tenant import CRITICAL, DEAD, RUNNING, SHED, TenantSpec
+
+_SITE_BY_MODE = {"crash": BOARD_CRASH, "hang": BOARD_HANG,
+                 "partition": BOARD_PARTITION}
+
+#: Payload schema for fleet runs/soaks (independent of the bench schema).
+FLEET_SCHEMA_VERSION = 1
+
+
+def make_kill_schedule(cfg: FleetConfig, *, kills: int,
+                       seed: int | None = None,
+                       modes: tuple[str, ...] = ("crash", "hang",
+                                                 "partition")
+                       ) -> tuple[KillSpec, ...]:
+    """A seeded board-fault schedule: ``kills`` candidate events, fixed
+    draw count each, spread over the run's middle ticks."""
+    rng = make_rng(cfg.seed if seed is None else seed, stream="fleet-kills")
+    hi = max(3, cfg.ticks - cfg.deadline_ticks - 2)
+    out = []
+    for _ in range(kills):
+        tick = int(rng.integers(1, hi))
+        board = int(rng.integers(0, cfg.boards))
+        mode = modes[int(rng.integers(0, len(modes)))]
+        duration = 1 + int(rng.integers(0, cfg.deadline_ticks + 2))
+        out.append(KillSpec(tick=tick, board=board,
+                            site=_SITE_BY_MODE[mode],
+                            duration_ticks=duration))
+    return tuple(sorted(out, key=lambda k: (k.tick, k.board, k.site)))
+
+
+def run_fleet(cfg: FleetConfig, *, kills: tuple[KillSpec, ...] = (),
+              tenants: list[TenantSpec] | None = None,
+              stream=None, flight_path: str | None = None,
+              _capture: dict[str, Any] | None = None) -> dict[str, Any]:
+    """One fleet run; returns the JSON-stable payload.
+
+    ``stream`` (a record bus) receives one ``shard`` record per
+    surviving board plus the dispatcher's own registry, and the merged
+    ``aggregate`` view (the PR 8 merge law).  ``flight_path`` writes the
+    first invariant-violation bundle, if any.  ``_capture`` hands the
+    live dispatcher and merged snapshot to callers (tests, the soak).
+    """
+    disp = Dispatcher(cfg, tenants=tenants, kills=kills)
+    try:
+        disp.place_initial()
+        for t in range(cfg.ticks):
+            disp.tick(t)
+        # Per-board ground-truth sweep (I1-I8 + L1-L6) on every board
+        # the fleet can still reach.
+        board_violations: dict[str, list[str]] = {}
+        for link in disp.links:
+            if not link.reachable:
+                continue
+            vs = link.call("invariants")
+            if vs:
+                board_violations[str(link.board_id)] = vs
+        # Fold per-board registries into the fleet aggregate.
+        merged = MetricSnapshot.empty()
+        shards = 0
+        for board_id, snap_dict in disp.board_snapshots():
+            snap = MetricSnapshot.from_dict(snap_dict)
+            merged = merged.merge(snap)
+            shards += 1
+            if stream is not None:
+                stream.emit_shard(f"board-{board_id}", snap,
+                                  harness="fleet", seed=cfg.seed)
+        fleet_snap = MetricSnapshot.of(disp.metrics)
+        merged = merged.merge(fleet_snap)
+        if stream is not None:
+            stream.emit_shard("dispatcher", fleet_snap, harness="fleet",
+                              seed=cfg.seed)
+            stream.emit_aggregate(merged, shards=shards + 1,
+                                  harness="fleet", seed=cfg.seed)
+        if flight_path and disp.flight_bundle is not None:
+            write_bundle(disp.flight_bundle, flight_path)
+        if _capture is not None:
+            _capture["disp"] = disp
+            _capture["merged"] = merged
+        return _payload(disp, cfg, board_violations)
+    finally:
+        disp.close()
+
+
+def _payload(disp: Dispatcher, cfg: FleetConfig,
+             board_violations: dict[str, list[str]]) -> dict[str, Any]:
+    m = disp.metrics
+    tenants = {name: rec.as_dict()
+               for name, rec in sorted(disp.tenants.items())}
+    accounted = all(rec.state in (RUNNING, SHED, DEAD)
+                    for rec in disp.tenants.values())
+    ok = (not disp.violations and not board_violations and accounted)
+    return {
+        "schema_version": FLEET_SCHEMA_VERSION,
+        "config": cfg.as_dict(),
+        "kills_scheduled": [k.as_dict() for k in disp.kills],
+        "kills_fired": disp.kills_fired,
+        "fault_summary": disp.plan.summary(),
+        "boards": {
+            str(link.board_id): {
+                "crashed": link.crashed,
+                "fenced": link.fenced,
+                "declared_dead":
+                    link.board_id in disp.detector.declared,
+            } for link in disp.links},
+        "tenants": tenants,
+        "requests": {
+            "arrived": m.total("fleet.requests.arrived"),
+            "served": m.total("fleet.requests.served"),
+            "shed": m.total("fleet.requests.shed"),
+            "latency": {cls: SeriesSummary.from_samples(s).as_dict()
+                        for cls, s in sorted(disp.latency.items())},
+        },
+        "fleet": {
+            "placements": m.total("fleet.placements"),
+            "migrations": m.total("fleet.migrations"),
+            "fresh_restarts": m.total("fleet.restarts.fresh"),
+            "checkpoints_pulled": m.total("fleet.checkpoints.pulled"),
+            "tenants_shed": m.total("fleet.tenants.shed"),
+            "tenants_dead": m.total("fleet.tenants.dead"),
+            "boards_declared_dead": m.total("fleet.boards.declared_dead"),
+            "boards_rejoined": m.total("fleet.boards.rejoined"),
+            "heartbeats_ok": m.total("fleet.heartbeats.ok"),
+            "heartbeats_missed": m.total("fleet.heartbeats.missed"),
+            "rpc_calls": m.total("fleet.rpc.calls"),
+            "rpc_failures": m.total("fleet.rpc.failures"),
+            "rpc_retries": m.total("fleet.rpc.retries"),
+            "rpc_backoff_cycles": m.total("fleet.rpc.backoff_cycles"),
+        },
+        "violations": list(disp.violations),
+        "board_violations": board_violations,
+        "tenants_accounted": accounted,
+        "flight_dumped": disp.flight_bundle is not None,
+        "ok": ok,
+    }
+
+
+# -- chaos soak ---------------------------------------------------------------
+
+
+def run_fleet_soak(*, seed: int = 1, board_kills: int = 100,
+                   boards: int = 8, per_run_kills: int = 4,
+                   max_runs: int | None = None, workers: str = "inline",
+                   ticks: int = 32, tenants_per_board: int = 2,
+                   stream=None,
+                   flight_path: str | None = None) -> dict[str, Any]:
+    """Chaos soak: repeated seeded fleet runs until ``board_kills``
+    board faults have actually fired, asserting F1-F6 + per-board
+    invariants after each.  Deterministic: the i-th run is a pure
+    function of ``seed + i``, so the payload is byte-identical across
+    reruns (the CI gate).
+    """
+    if max_runs is None:
+        max_runs = max(4 * board_kills // max(1, per_run_kills) + 4, 4)
+    merged = MetricSnapshot.empty()
+    runs: list[dict[str, Any]] = []
+    all_violations: list[str] = []
+    fired_total = 0
+    migrations_total = 0
+    sheds_total = 0
+    flight_written = False
+    i = 0
+    while fired_total < board_kills and i < max_runs:
+        cfg = FleetConfig(boards=boards, seed=seed + i, ticks=ticks,
+                          tenants_per_board=tenants_per_board,
+                          workers=workers)
+        kills = make_kill_schedule(cfg, kills=per_run_kills)
+        capture: dict[str, Any] = {}
+        payload = run_fleet(
+            cfg, kills=kills, _capture=capture,
+            flight_path=(None if flight_written else flight_path))
+        fired = len(payload["kills_fired"])
+        fired_total += fired
+        migrations_total += payload["fleet"]["migrations"]
+        sheds_total += payload["fleet"]["tenants_shed"]
+        run_violations = (payload["violations"]
+                          + [f"board {b}: {v}"
+                             for b, vs in
+                             sorted(payload["board_violations"].items())
+                             for v in vs])
+        all_violations.extend(f"run {i}: {v}" for v in run_violations)
+        if payload["flight_dumped"] and flight_path:
+            flight_written = True
+        runs.append({
+            "run": i,
+            "seed": seed + i,
+            "kills_scheduled": len(kills),
+            "kills_fired": fired,
+            "boards_declared_dead":
+                payload["fleet"]["boards_declared_dead"],
+            "migrations": payload["fleet"]["migrations"],
+            "fresh_restarts": payload["fleet"]["fresh_restarts"],
+            "tenants_shed": payload["fleet"]["tenants_shed"],
+            "tenants_dead": payload["fleet"]["tenants_dead"],
+            "served": payload["requests"]["served"],
+            "shed": payload["requests"]["shed"],
+            "violations": len(run_violations),
+            "tenants_accounted": payload["tenants_accounted"],
+            "ok": payload["ok"],
+        })
+        if stream is not None:
+            snap = capture["merged"]
+            merged = merged.merge(snap)
+            stream.emit_shard(f"run-{i}", snap, harness="fleet-soak",
+                              seed=seed + i, ok=payload["ok"])
+        i += 1
+    if stream is not None:
+        stream.emit_aggregate(merged, shards=len(runs),
+                              harness="fleet-soak", seed=seed)
+    runs_ok = bool(runs) and all(r["ok"] for r in runs)
+    reached = fired_total >= board_kills
+    incident = classify_incident(all_violations, runs_ok, reached)
+    return {
+        "seed": seed,
+        "kill_target": board_kills,
+        "boards": boards,
+        "workers": workers,
+        "runs": runs,
+        "totals": {
+            "runs": len(runs),
+            "kills_fired": fired_total,
+            "migrations": migrations_total,
+            "tenants_shed": sheds_total,
+            "invariant_violations": len(all_violations),
+        },
+        "violations": all_violations,
+        "reached_target": reached,
+        "incident": incident,
+        "ok": incident is None,
+    }
+
+
+# -- migration proof ----------------------------------------------------------
+
+
+def run_migration_demo(*, seed: int = 7, kind: str = "fft",
+                       frames: int = 6,
+                       workers: str = "inline") -> dict[str, Any]:
+    """Kill a restartable tenant's board mid-run; it must finish on the
+    surviving board with bit-exact output (docs/FLEET.md §7)."""
+    from ..workloads.restartable import expected_output
+    spec = TenantSpec(name="demo", tclass=CRITICAL, kind=kind,
+                      seed=seed, frames=frames, checkpoint_every=2)
+    cfg = FleetConfig(boards=2, tenants_per_board=1, seed=seed,
+                      ticks=0, tick_ms=2.0, checkpoint_every_ticks=2,
+                      deadline_ticks=2, workers=workers,
+                      rate_per_tick=0.0)
+    disp = Dispatcher(cfg, tenants=[spec])
+    try:
+        disp.place_initial()
+        rec = disp.tenants["demo"]
+        source = rec.board
+        t = 0
+        # Phase 1: run on the source board until at least one checkpoint
+        # covers real progress.
+        while (rec.checkpointed < 2 or rec.progress < frames // 2) \
+                and t < 200:
+            disp.tick(t)
+            t += 1
+        progress_at_kill = rec.progress
+        # Phase 2: the board dies for real; the detector declares it and
+        # the dispatcher migrates the tenant from its checkpoint.
+        disp.links[source].inject(BOARD_CRASH)
+        while rec.progress < frames and t < 500:
+            disp.tick(t)
+            t += 1
+        finished = rec.progress >= frames
+        output = b""
+        if rec.state == RUNNING and rec.board is not None:
+            output = disp.links[rec.board].call("read_output", rec.vm_id,
+                                                frames)
+        bit_exact = output == expected_output(kind, frames=frames,
+                                              seed=seed)
+        return {
+            "kind": kind,
+            "frames": frames,
+            "source_board": source,
+            "target_board": rec.board,
+            "progress_at_kill": progress_at_kill,
+            "resumed_from_frame": rec.checkpointed,
+            "migrations": rec.migrations,
+            "epochs": disp.epoch_log["demo"],
+            "finished": finished,
+            "bit_exact": bit_exact,
+            "violations": list(disp.violations),
+            "ok": finished and bit_exact and not disp.violations,
+        }
+    finally:
+        disp.close()
+
+
+# -- bench --------------------------------------------------------------------
+
+
+def run_fleet_bench(*, seed: int = 1,
+                    workers: str = "inline") -> dict[str, Any]:
+    """The ``fleet_quick`` bench artifact: a small fleet with one board
+    crash mid-run; request latency percentiles are the gated series."""
+    cfg = FleetConfig(boards=3, tenants_per_board=2, seed=seed, ticks=32,
+                      workers=workers)
+    kills = (KillSpec(tick=10, board=1, site=BOARD_CRASH),)
+    capture: dict[str, Any] = {}
+    t0 = time.perf_counter()
+    payload = run_fleet(cfg, kills=kills, _capture=capture)
+    wall = time.perf_counter() - t0
+    lat = payload["requests"]["latency"]
+    series: dict[str, Any] = {
+        "fleet_request_latency_cycles": lat["all"],
+        "fleet_critical_latency_cycles": lat["critical"],
+        "fleet_besteffort_latency_cycles": lat["besteffort"],
+        "fleet_requests_served": {
+            "count": 1, "kind": "value", "unit": "requests",
+            "direction": "higher",
+            "value": payload["requests"]["served"]},
+        "fleet_migrations": {
+            "count": 1, "kind": "value", "unit": "migrations",
+            "direction": "none",
+            "value": payload["fleet"]["migrations"]},
+        "wall_clock_s": {
+            "count": 1, "kind": "value", "unit": "s",
+            "direction": "none", "value": round(wall, 6)},
+    }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "name": "fleet_quick",
+        "scenario": {**cfg.as_dict(),
+                     "kills": [k.as_dict() for k in kills]},
+        "totals": {
+            "arrived": payload["requests"]["arrived"],
+            "served": payload["requests"]["served"],
+            "shed": payload["requests"]["shed"],
+            "migrations": payload["fleet"]["migrations"],
+            "boards_declared_dead":
+                payload["fleet"]["boards_declared_dead"],
+            "violations": len(payload["violations"]),
+        },
+        "series": series,
+    }

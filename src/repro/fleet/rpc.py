@@ -1,0 +1,162 @@
+"""Dispatcher→board RPC: fault state, fencing, bounded retry+backoff.
+
+A :class:`BoardLink` is the dispatcher's only way to talk to a board.
+It layers the board fault domain over the hosting backend:
+
+* ``board.crash``      — the host is killed (a :class:`~repro.fleet.
+  workers.ProcessHost` worker is terminated for real); every later call
+  raises :class:`BoardUnreachable` immediately.
+* ``board.hang``       — the board freezes: the link refuses calls until
+  the hang expires, modelling a deadline timeout on every attempt.  The
+  board makes no progress while hung (it is only ever advanced by
+  dispatcher steps).
+* ``board.partition``  — the dispatcher cannot reach the board until the
+  partition heals; distinguished from a hang in the fault accounting and
+  in rejoin semantics (a healed partition rejoins silently, a healed
+  hang is indistinguishable from a slow board).
+
+Unreachability is modelled **deterministically**: a hung worker process
+would block the pipe for real wall-clock time and make run results
+timing-dependent, so the link short-circuits the call instead and
+charges the configured deadline to the retry budget.  Same-seed fleet
+runs therefore produce byte-identical outcomes with inline or process
+hosting.
+
+Every dispatcher call goes through :meth:`BoardLink.call`, which retries
+up to :data:`RETRY_LIMIT` times with exponential backoff (modelled
+cycles, counted in ``fleet.rpc.backoff_cycles``) before letting
+:class:`BoardUnreachable` escape to the failure detector.  Once the
+detector declares a board dead the dispatcher **fences** it: any further
+call attempt is a bug, counted in ``fleet.fencing_violations`` (F6
+demands the counter stays zero).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..faults.plan import BOARD_CRASH, BOARD_HANG, BOARD_PARTITION
+from .workers import HostDead
+
+#: Attempts per logical RPC before the failure escapes to the detector.
+RETRY_LIMIT = 3
+
+#: Modelled backoff charged per failed attempt: BASE << attempt cycles.
+BACKOFF_BASE_CYCLES = 10_000
+
+#: Modelled deadline charged when a hung/partitioned board eats a call.
+DEADLINE_CYCLES = 50_000
+
+
+class BoardUnreachable(Exception):
+    """An RPC could not reach the board (crash/hang/partition/fenced)."""
+
+    def __init__(self, board_id: int, reason: str) -> None:
+        super().__init__(f"board {board_id} unreachable: {reason}")
+        self.board_id = board_id
+        self.reason = reason
+
+
+class BoardLink:
+    """Fault-aware RPC endpoint for one board."""
+
+    def __init__(self, board_id: int, host, metrics) -> None:
+        self.board_id = board_id
+        self.host = host
+        self.m = metrics
+        self.crashed = False
+        self.fenced = False
+        #: Tick the current hang/partition heals at (exclusive), or None.
+        self.hung_until: int | None = None
+        self.partitioned_until: int | None = None
+        #: The dispatcher's clock, advanced once per tick.
+        self.now_tick = 0
+
+    # -- fault state -------------------------------------------------------
+
+    def inject(self, site: str, *, duration_ticks: int = 0) -> None:
+        """Apply a board fault site to this link (docs/FLEET.md §4)."""
+        if site == BOARD_CRASH:
+            self.crashed = True
+            self.host.kill()
+            self.m.counter("fleet.boards.crashed").inc()
+        elif site == BOARD_HANG:
+            self.hung_until = self.now_tick + max(1, duration_ticks)
+            self.m.counter("fleet.boards.hung").inc()
+        elif site == BOARD_PARTITION:
+            self.partitioned_until = self.now_tick + max(1, duration_ticks)
+            self.m.counter("fleet.boards.partitioned").inc()
+        else:
+            raise ValueError(f"not a board fault site: {site!r}")
+
+    def fence(self) -> None:
+        """Declared dead: no RPC may ever reach this board again (F6)."""
+        self.fenced = True
+
+    def tick(self, t: int) -> bool:
+        """Advance the link clock; returns True when a hang/partition
+        healed on this tick (the board rejoins, unless already fenced)."""
+        self.now_tick = t
+        healed = False
+        if self.hung_until is not None and t >= self.hung_until:
+            self.hung_until = None
+            healed = True
+        if self.partitioned_until is not None \
+                and t >= self.partitioned_until:
+            self.partitioned_until = None
+            healed = True
+        return healed and not self.fenced and not self.crashed
+
+    @property
+    def reachable(self) -> bool:
+        return not (self.fenced or self.crashed
+                    or self.hung_until is not None
+                    or self.partitioned_until is not None)
+
+    def _unreachable_reason(self) -> str | None:
+        if self.fenced:
+            return "fenced"
+        if self.crashed:
+            return "crash"
+        if self.hung_until is not None:
+            return "hang"
+        if self.partitioned_until is not None:
+            return "partition"
+        return None
+
+    # -- calls -------------------------------------------------------------
+
+    def call(self, op: str, *args: Any, retries: int = RETRY_LIMIT) -> Any:
+        """One logical RPC: bounded attempts with exponential backoff."""
+        if self.fenced:
+            # Fenced boards must never be contacted; this is accounted as
+            # a fencing violation (F6) and refused without touching the
+            # host — the caller has a dispatcher bug.
+            self.m.counter("fleet.fencing_violations").inc()
+            raise BoardUnreachable(self.board_id, "fenced")
+        last_reason = "unknown"
+        for attempt in range(retries):
+            self.m.counter("fleet.rpc.calls").inc()
+            reason = self._unreachable_reason()
+            if reason is None:
+                try:
+                    return self.host.call(op, *args)
+                except HostDead:
+                    # The backend died without a fault being injected
+                    # first (possible under process hosting): treat it
+                    # as a crash from now on.
+                    self.crashed = True
+                    reason = "crash"
+            self.m.counter("fleet.rpc.failures").inc()
+            last_reason = reason
+            if reason in ("hang", "partition"):
+                self.m.counter("fleet.rpc.backoff_cycles").inc(
+                    DEADLINE_CYCLES)
+            if attempt + 1 < retries:
+                self.m.counter("fleet.rpc.retries").inc()
+                self.m.counter("fleet.rpc.backoff_cycles").inc(
+                    BACKOFF_BASE_CYCLES << attempt)
+        raise BoardUnreachable(self.board_id, last_reason)
+
+    def close(self) -> None:
+        self.host.close()

@@ -1,0 +1,43 @@
+"""Open-loop synthetic traffic: seeded per-tenant request arrivals.
+
+Each tenant gets its own decorrelated RNG stream
+(``make_rng(seed, stream=f"fleet-arrivals-{name}")``) and draws exactly
+one Poisson sample per tick — open-loop: arrivals do not react to
+service progress, board failures or sheds, so offered load is identical
+across runs that diverge in failure handling.  A square-wave burst
+factor models diurnal load swings (docs/FLEET.md §5).
+
+Because the draw count per tick is fixed, the arrival sequence is a
+pure function of ``(seed, tenant names, tick)`` — the substrate of the
+fleet's byte-identical rerun guarantee.
+"""
+
+from __future__ import annotations
+
+from ..common.rng import make_rng
+
+
+class TrafficModel:
+    """Per-tenant open-loop arrival generator."""
+
+    def __init__(self, tenant_names, *, seed: int,
+                 rate_per_tick: float = 1.0,
+                 burst_period_ticks: int = 16,
+                 burst_factor: float = 2.0) -> None:
+        if rate_per_tick < 0:
+            raise ValueError(f"rate_per_tick must be >= 0: {rate_per_tick}")
+        self.rate = float(rate_per_tick)
+        self.period = max(1, int(burst_period_ticks))
+        self.factor = float(burst_factor)
+        self._rngs = {name: make_rng(seed, stream=f"fleet-arrivals-{name}")
+                      for name in tenant_names}
+
+    def intensity(self, tick: int) -> float:
+        """The offered-load multiplier at ``tick`` (square-wave burst)."""
+        return self.factor if (tick // self.period) % 2 == 1 else 1.0
+
+    def arrivals(self, tick: int) -> dict[str, int]:
+        """New request count per tenant this tick (one draw each)."""
+        lam = self.rate * self.intensity(tick)
+        return {name: int(rng.poisson(lam))
+                for name, rng in self._rngs.items()}

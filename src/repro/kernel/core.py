@@ -227,6 +227,7 @@ class MiniNova:
         self.metrics.counter("vm.lifecycle.requests_purged")
         self.metrics.counter("vm.lifecycle.ivc_purged")
         self.metrics.counter("vm.lifecycle.client_reclaims")
+        self.metrics.counter("vm.lifecycle.adoptions")
         self.metrics.histogram("vm.lifecycle.checkpoint_cycles")
         self.metrics.histogram("vm.lifecycle.restore_cycles")
         # Accounting starts at boot time: every later cycle is attributed

@@ -109,6 +109,10 @@ class VmCheckpoint:
     hw_data: tuple[int, int, int]
     #: Opaque runner-side persistent state (``lifecycle_state()``).
     runner_state: Any = None
+    #: Physical base of the chunk the image was captured from.  A restore
+    #: onto a PD with a different base (cross-board adoption,
+    #: docs/FLEET.md) rebases the absolute addresses recorded above.
+    phys_base: int = 0
 
 
 class VmLifecycle:
@@ -212,7 +216,8 @@ class VmLifecycle:
                 memory_image=k.mem.bus.dram.read_bytes(pd.phys_base,
                                                        pd.phys_size),
                 hw_data=(pd.hw_data.va, pd.hw_data.pa, pd.hw_data.size),
-                runner_state=self._runner_state(pd))
+                runner_state=self._runner_state(pd),
+                phys_base=pd.phys_base)
             snaps = self._store.setdefault(pd.vm_id, [])
             snaps.append(snap)
             del snaps[:-MAX_CHECKPOINTS_PER_VM]
@@ -348,6 +353,46 @@ class VmLifecycle:
             cpu.set_mode(mode)
             cpu.irq_masked = masked
 
+    # -- cross-board adoption (docs/FLEET.md) -----------------------------
+
+    def adopt(self, pd: ProtectionDomain, ckpt: VmCheckpoint) -> None:
+        """Restore a checkpoint taken on *another* kernel into ``pd``.
+
+        The fleet dispatcher's live-migration path: the target board
+        creates a fresh VM from the tenant's factory (same guest image,
+        same task structure), then adopts the source board's snapshot —
+        guest memory, vCPU, vGIC and runner persistence.  Absolute
+        physical addresses in the snapshot are rebased from the source
+        chunk onto ``pd``'s own, so the resume is bit-exact even though
+        the two boards allocated different frames.
+        """
+        if len(ckpt.memory_image) != pd.phys_size:
+            raise ValueError(
+                f"checkpoint image is {len(ckpt.memory_image)} bytes but "
+                f"target PD {pd.vm_id} owns {pd.phys_size}")
+        # Same privileged-context protocol as resurrect(): the restore
+        # walks kernel save areas, so it must run at SVC with IRQs
+        # masked, leaving the interrupted context untouched.
+        cpu = self.k.cpu
+        sysregs = cpu.sysregs
+        mode, masked = cpu.mode, cpu.irq_masked
+        saved_ctx = {name: sysregs.read(name, privileged=True)
+                     for name in ("TTBR0", "CONTEXTIDR", "DACR")}
+        cpu.set_mode(Mode.SVC)
+        cpu.irq_masked = True
+        try:
+            self._apply_checkpoint(pd, ckpt)
+        finally:
+            for name, value in saved_ctx.items():
+                sysregs.write(name, value, privileged=True)
+            cpu.set_mode(mode)
+            cpu.irq_masked = masked
+        if ckpt.quantum_remaining > 0:
+            pd.quantum_remaining = ckpt.quantum_remaining
+        self.k.metrics.counter("vm.lifecycle.adoptions").inc()
+        self.k.tracer.mark("vm_adopted", cat="lifecycle", vm=pd.vm_id,
+                           seq=ckpt.seq, source_vm=ckpt.vm_id)
+
     def _apply_checkpoint(self, pd: ProtectionDomain,
                           ckpt: VmCheckpoint) -> None:
         """Rebuild ``pd``'s software-visible state from ``ckpt``."""
@@ -374,8 +419,13 @@ class VmLifecycle:
             else:
                 k.metrics.counter("vm.lifecycle.virqs_dropped").inc()
         # Hardware-task data section geometry (the guest's boot replay of
-        # HWDATA_DEFINE re-derives the same values).
+        # HWDATA_DEFINE re-derives the same values).  The physical address
+        # is recorded absolute; rebase it onto this PD's chunk so a
+        # cross-board adoption (different phys_base) lands correctly —
+        # for the in-place restore the rebase is the identity.
         va, pa, size = ckpt.hw_data
+        if size > 0:
+            pa = pd.phys_base + (pa - ckpt.phys_base)
         pd.hw_data.va, pd.hw_data.pa, pd.hw_data.size = va, pa, size
         restore = getattr(pd.runner, "lifecycle_restore", None)
         if restore is not None and ckpt.runner_state is not None:

@@ -1,6 +1,8 @@
 """Soak harness: deterministic, and clean over a small crash budget."""
 
-from repro.faults.soak import run_soak
+from repro.faults.soak import (EXIT_CHECKS_FAILED, EXIT_INVARIANT_VIOLATION,
+                               classify_incident, incident_exit_code,
+                               run_soak)
 
 
 def test_small_soak_is_clean_and_deterministic():
@@ -9,6 +11,7 @@ def test_small_soak_is_clean_and_deterministic():
     assert a == b                       # byte-identical run sequence
     assert a["ok"]
     assert a["reached_target"]
+    assert a["incident"] is None
     assert a["totals"]["invariant_violations"] == 0
     assert a["totals"]["faults_fired"] >= 2
     for run in a["runs"]:
@@ -18,9 +21,45 @@ def test_small_soak_is_clean_and_deterministic():
 def test_soak_payload_shape():
     p = run_soak(seed=11, crashes=1, max_runs=2)
     assert set(p) == {"seed", "crash_target", "runs", "totals",
-                      "violations", "reached_target", "ok"}
+                      "violations", "reached_target", "incident", "ok"}
     r = p["runs"][0]
     for key in ("run", "scenario", "mode", "after", "fired", "restarts",
                 "bounced", "rollbacks", "replays", "reconciles", "checks",
                 "ok"):
         assert key in r
+
+
+def test_unreached_target_is_checks_failed_not_ok():
+    # max_runs=1 cannot reach a 50-crash budget: the soak must flag the
+    # weak run as checks_failed (exit 1), not as an invariant violation.
+    p = run_soak(seed=11, crashes=50, max_runs=1)
+    assert not p["ok"]
+    assert not p["reached_target"]
+    assert p["incident"] == "checks_failed"
+    assert incident_exit_code(p) == EXIT_CHECKS_FAILED
+
+
+class TestIncidentClassification:
+    """The soak CLI's exit-code contract (docs/RECOVERY.md §10)."""
+
+    def test_violations_dominate(self):
+        assert classify_incident(["I3: leaked PRR"], False, False) \
+            == "invariant_violation"
+        assert classify_incident(["x"], True, True) == "invariant_violation"
+
+    def test_failed_checks_without_violations(self):
+        assert classify_incident([], False, True) == "checks_failed"
+        assert classify_incident([], True, False) == "checks_failed"
+
+    def test_clean(self):
+        assert classify_incident([], True, True) is None
+
+    def test_exit_codes_distinct(self):
+        assert incident_exit_code({"incident": None}) == 0
+        assert incident_exit_code({"incident": "checks_failed"}) \
+            == EXIT_CHECKS_FAILED == 1
+        assert incident_exit_code({"incident": "invariant_violation"}) \
+            == EXIT_INVARIANT_VIOLATION == 4
+        # 4 is deliberately distinct from the SLO-breach exit (3).
+        from repro.obs.slo import EXIT_SLO_BREACH
+        assert EXIT_INVARIANT_VIOLATION != EXIT_SLO_BREACH

@@ -18,7 +18,8 @@ def test_small_vm_soak_is_clean_and_deterministic():
 def test_vm_soak_payload_shape():
     p = run_vm_soak(seed=11, kills=1, max_runs=2)
     assert set(p) == {"seed", "kill_target", "runs", "totals",
-                      "violations", "reached_target", "ok"}
+                      "violations", "reached_target", "incident", "ok"}
+    assert p["incident"] in (None, "checks_failed")
     r = p["runs"][0]
     for key in ("run", "scenario", "policy", "at", "kills", "restarts",
                 "halts", "checkpoints", "restores", "virqs_dropped",

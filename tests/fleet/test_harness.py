@@ -1,0 +1,114 @@
+"""Fleet harnesses: byte-identity, chaos soak, migration proof, bench."""
+
+import json
+
+from repro.faults.plan import BOARD_CRASH
+from repro.fleet.dispatcher import FleetConfig, KillSpec
+from repro.fleet.harness import (FLEET_SCHEMA_VERSION, make_kill_schedule,
+                                 run_fleet, run_fleet_bench, run_fleet_soak,
+                                 run_migration_demo)
+
+SMALL = FleetConfig(boards=2, tenants_per_board=2, seed=3, ticks=10,
+                    checkpoint_every_ticks=2, deadline_ticks=2)
+
+
+def test_kill_schedule_is_seeded_and_sorted():
+    a = make_kill_schedule(SMALL, kills=5)
+    b = make_kill_schedule(SMALL, kills=5)
+    assert a == b
+    assert list(a) == sorted(a, key=lambda k: (k.tick, k.board, k.site))
+    assert all(0 <= k.board < SMALL.boards for k in a)
+    assert all(1 <= k.tick < SMALL.ticks for k in a)
+    c = make_kill_schedule(SMALL, kills=5, seed=99)
+    assert c != a                           # a different seed reshuffles
+
+
+def test_run_fleet_payload_is_byte_identical():
+    kills = make_kill_schedule(SMALL, kills=2)
+    a = run_fleet(SMALL, kills=kills)
+    b = run_fleet(SMALL, kills=kills)
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+    assert a["schema_version"] == FLEET_SCHEMA_VERSION
+    assert a["ok"] and a["violations"] == []
+    assert a["tenants_accounted"]
+
+
+def test_run_fleet_under_crash_stays_clean():
+    kills = (KillSpec(tick=4, board=0, site=BOARD_CRASH),)
+    p = run_fleet(SMALL, kills=kills)
+    assert p["ok"], p["violations"]
+    assert p["boards"]["0"]["declared_dead"]
+    assert p["fleet"]["boards_declared_dead"] == 1
+    assert p["fleet"]["migrations"] + p["fleet"]["fresh_restarts"] >= 1
+    assert p["requests"]["arrived"] == (p["requests"]["served"]
+                                        + p["requests"]["shed"]
+                                        + sum(t["queued"]
+                                              for t in p["tenants"].values()))
+
+
+def test_process_hosting_matches_inline():
+    """Same seed, same kills: worker-process boards must reproduce the
+    inline payload byte-for-byte (modulo the config's workers field)."""
+    kills = (KillSpec(tick=4, board=0, site=BOARD_CRASH),)
+    cfg_proc = FleetConfig(**{**SMALL.as_dict(), "workers": "process",
+                              "tasks": tuple(SMALL.tasks)})
+    a = run_fleet(SMALL, kills=kills)
+    b = run_fleet(cfg_proc, kills=kills)
+    a["config"].pop("workers")
+    b["config"].pop("workers")
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+def test_small_soak_is_clean_and_reports_incident_none():
+    p = run_fleet_soak(seed=2, board_kills=3, boards=2, per_run_kills=3,
+                       ticks=10, tenants_per_board=2)
+    assert p["ok"], p["violations"]
+    assert p["incident"] is None
+    assert p["reached_target"]
+    assert p["totals"]["kills_fired"] >= 3
+    for run in p["runs"]:
+        assert run["ok"], run
+        assert run["tenants_accounted"]
+
+
+def test_soak_missing_target_is_checks_failed():
+    p = run_fleet_soak(seed=2, board_kills=50, boards=2, per_run_kills=2,
+                       max_runs=1, ticks=10)
+    assert not p["ok"]
+    assert p["incident"] == "checks_failed"
+    assert not p["reached_target"]
+
+
+def test_migration_demo_is_bit_exact():
+    demo = run_migration_demo(seed=7)
+    assert demo["ok"], demo
+    assert demo["bit_exact"] and demo["finished"]
+    assert demo["migrations"] == 1
+    assert demo["source_board"] != demo["target_board"]
+    assert demo["resumed_from_frame"] <= demo["progress_at_kill"]
+    assert demo["violations"] == []
+
+
+def test_bench_artifact_shape():
+    p = run_fleet_bench(seed=1)
+    assert p["schema_version"] == 2         # the eval.bench schema
+    assert p["name"] == "fleet_quick"
+    s = p["series"]
+    for name in ("fleet_request_latency_cycles",
+                 "fleet_critical_latency_cycles",
+                 "fleet_besteffort_latency_cycles"):
+        assert s[name]["count"] > 0
+        assert s[name]["p50"] <= s[name]["p99"]
+    assert s["fleet_requests_served"]["kind"] == "value"
+    assert s["fleet_requests_served"]["direction"] == "higher"
+    assert s["wall_clock_s"]["direction"] == "none"
+    assert s["fleet_migrations"]["value"] >= 1
+
+
+def test_bench_latency_series_deterministic():
+    a = run_fleet_bench(seed=1)
+    b = run_fleet_bench(seed=1)
+    drop = ("wall_clock_s",)                # host-dependent by design
+    sa = {k: v for k, v in a["series"].items() if k not in drop}
+    sb = {k: v for k, v in b["series"].items() if k not in drop}
+    assert sa == sb

@@ -1,0 +1,165 @@
+"""Checkpoint -> migrate -> restore stays bit-exact under adversity.
+
+Property-style sweeps over the cross-kernel adoption path
+(:meth:`repro.kernel.lifecycle.VmLifecycle.adopt`, the fleet migration
+primitive — docs/FLEET.md §7): a snapshot taken on one kernel, restored
+onto a *different* kernel (different machine, different physical chunk),
+must finish the restartable workload with the byte-for-byte golden
+output — including when the source VM is killed at arbitrary points in
+the checkpoint window, and for **every** snapshot the store retains, not
+just the latest.  A checkpoint that could be torn (output slots ahead of
+the recorded frame missing, or persist ahead of the written slots) would
+fail the bit-exactness assertion on resume.
+"""
+
+import pytest
+
+from repro.guest.ports.paravirt import ParavirtUcos
+from repro.guest.ucos import Ucos
+from repro.hwmgr.invariants import assert_no_vm_leaks
+from repro.hwmgr.service import ManagerService
+from repro.kernel.core import MiniNova
+from repro.kernel.lifecycle import VmPolicy
+from repro.machine import Machine, MachineConfig
+from repro.workloads.restartable import (RestartableStats, expected_output,
+                                         make_restartable_task,
+                                         read_output_region)
+
+GUEST_VM = 2            # attach_manager takes vm_id 1; first guest is 2
+FRAMES = 6
+
+
+def build_source(kind, *, seed, checkpoint_every=2):
+    """Manager + one checkpointing restartable guest."""
+    machine = Machine(MachineConfig(tasks=("fft256", "qam16")))
+    kernel = MiniNova(machine)
+    kernel.boot()
+    kernel.attach_manager(ManagerService())
+    os_ = Ucos("vmsrc", tick_hz=100)
+    stats = RestartableStats()
+    os_.create_task(f"restart-{kind}", 5,
+                    make_restartable_task(kind, frames=FRAMES, seed=seed,
+                                          checkpoint_every=checkpoint_every,
+                                          stats=stats))
+    kernel.create_vm(os_.name, ParavirtUcos(os_))
+    return machine, kernel, stats
+
+
+def build_target(kind, *, seed, extra_vms=0):
+    """A separate kernel with a parked VM ready to adopt a checkpoint.
+
+    ``extra_vms`` fillers are created first so the adopted PD lands on a
+    different physical chunk than the source's (the rebase case)."""
+    machine = Machine(MachineConfig(tasks=("fft256", "qam16")))
+    kernel = MiniNova(machine)
+    kernel.boot()
+    kernel.attach_manager(ManagerService())
+    for j in range(extra_vms):
+        filler = Ucos(f"filler{j}", tick_hz=100)
+        filler.create_task("filler", 5,
+                           make_restartable_task(kind, frames=1, seed=j))
+        kernel.create_vm(filler.name, ParavirtUcos(filler))
+    os_ = Ucos("vmdst", tick_hz=100)
+    stats = RestartableStats()
+    os_.create_task(f"restart-{kind}", 5,
+                    make_restartable_task(kind, frames=FRAMES, seed=seed,
+                                          stats=stats))
+    pd = kernel.create_vm(os_.name, ParavirtUcos(os_), runnable=False)
+    return machine, kernel, pd, stats
+
+
+def run_until_checkpoint(machine, kernel, stats, *, min_frame=1,
+                         cap=80_000_000):
+    """Step the source until the store holds a snapshot at or past
+    ``min_frame`` while the workload is still mid-run."""
+    deadline = machine.sim.now + cap
+    while machine.sim.now < deadline:
+        kernel.run(until_cycles=machine.sim.now + 1_000_000)
+        ckpt = kernel.lifecycle.latest(GUEST_VM)
+        if ckpt is not None \
+                and ckpt.runner_state["persist"]["frame"] >= min_frame:
+            return ckpt
+    raise AssertionError("no checkpoint reached the target frame")
+
+
+def adopt_and_finish(ckpt, kind, *, seed, extra_vms=0):
+    """Adopt ``ckpt`` on a fresh kernel, run to completion, return
+    (kernel, pd, stats)."""
+    machine, kernel, pd, stats = build_target(kind, seed=seed,
+                                              extra_vms=extra_vms)
+    kernel.lifecycle.adopt(pd, ckpt)
+    kernel.sched.resume(pd, front=False)
+    kernel.run(until_cycles=machine.sim.now + 80_000_000)
+    return kernel, pd, stats
+
+
+@pytest.mark.parametrize("kind,seed", [("fft", 3), ("fft", 11),
+                                       ("qam", 3), ("qam", 11)])
+def test_cross_kernel_adoption_is_bit_exact(kind, seed):
+    golden = expected_output(kind, frames=FRAMES, seed=seed)
+    machine, kernel, stats = build_source(kind, seed=seed)
+    ckpt = run_until_checkpoint(machine, kernel, stats)
+    assert 0 < stats.frames_done < FRAMES           # genuinely mid-run
+
+    tk, pd, tstats = adopt_and_finish(ckpt, kind, seed=seed)
+    assert tstats.resumed_at >= 1                   # resumed, not restarted
+    assert tstats.resumed_at == ckpt.runner_state["persist"]["frame"]
+    assert read_output_region(tk, pd, frames=FRAMES) == golden
+    assert tk.metrics.total("vm.lifecycle.adoptions") == 1
+    assert_no_vm_leaks(tk)
+
+
+def test_adoption_rebases_onto_a_different_chunk():
+    """The target PD sits above a filler VM, so its phys_base differs
+    from the checkpoint's — the rebase path must still be bit-exact."""
+    kind, seed = "fft", 5
+    golden = expected_output(kind, frames=FRAMES, seed=seed)
+    machine, kernel, stats = build_source(kind, seed=seed)
+    ckpt = run_until_checkpoint(machine, kernel, stats)
+
+    tk, pd, _ = adopt_and_finish(ckpt, kind, seed=seed, extra_vms=1)
+    assert pd.phys_base != ckpt.phys_base
+    assert pd.hw_data.pa != ckpt.hw_data[1]
+    assert read_output_region(tk, pd, frames=FRAMES) == golden
+
+
+@pytest.mark.parametrize("offset", [0, 7_001, 23_057, 61_337, 142_013])
+def test_kill_in_checkpoint_window_then_migrate_never_torn(offset):
+    """Kill the source VM at arbitrary cycle offsets — including points
+    between a frame write and its checkpoint — resurrect it locally,
+    then migrate its latest snapshot: the adopted incarnation still
+    finishes bit-exactly (no torn snapshot ever enters the store)."""
+    kind, seed = "fft", 3
+    golden = expected_output(kind, frames=FRAMES, seed=seed)
+    machine, kernel, stats = build_source(kind, seed=seed,
+                                          checkpoint_every=1)
+    kernel.lifecycle.set_policy(GUEST_VM, VmPolicy(
+        action="restart_from_checkpoint", max_restarts=2,
+        backoff_cycles=10_000))
+    kernel.run(until_cycles=machine.sim.now + 1_500_000 + offset)
+    kernel.kill_vm(kernel.domains[GUEST_VM], reason="adversity")
+    # Let the resurrection land, then wait for a post-restore snapshot.
+    ckpt = run_until_checkpoint(machine, kernel, stats)
+
+    tk, pd, tstats = adopt_and_finish(ckpt, kind, seed=seed)
+    assert read_output_region(tk, pd, frames=FRAMES) == golden
+    assert tstats.resumed_at == ckpt.runner_state["persist"]["frame"]
+    assert_no_vm_leaks(tk)
+
+
+def test_every_stored_checkpoint_is_a_valid_migration_source():
+    """The store's bounded history: each retained snapshot — not just
+    the newest — restores to the same golden output on a fresh kernel."""
+    kind, seed = "qam", 7
+    golden = expected_output(kind, frames=FRAMES, seed=seed)
+    machine, kernel, stats = build_source(kind, seed=seed,
+                                          checkpoint_every=1)
+    kernel.run(until_cycles=machine.sim.now + 50_000_000)
+    assert stats.frames_done == FRAMES
+    store = kernel.lifecycle._store[GUEST_VM]
+    assert len(store) >= 2
+    for ckpt in store:
+        tk, pd, tstats = adopt_and_finish(ckpt, kind, seed=seed)
+        assert read_output_region(tk, pd, frames=FRAMES) == golden, \
+            f"seq {ckpt.seq} produced a divergent resume"
+        assert tstats.resumed_at == ckpt.runner_state["persist"]["frame"]

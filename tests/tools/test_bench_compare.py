@@ -122,10 +122,72 @@ class TestMainSummary:
             "c_cycles": _series(mean=100.0, p99=200.0)}))
         assert bc.main([base, new]) == 1
         out = capsys.readouterr().out
-        assert "FAIL: 2 series regressed: a_cycles, b_cycles" in out
+        assert ("FAIL: 2 series regressed or mismatched: "
+                "a_cycles, b_cycles") in out
 
     def test_pass_exit_zero(self, tmp_path, capsys):
         base = self._write(tmp_path, "base.json",
                            _artifact({"a_cycles": _series()}))
         assert bc.main([base, base]) == 0
         assert "PASS: no series regressed" in capsys.readouterr().out
+
+
+class TestSeriesMismatch:
+    """Baseline/candidate series-set mismatch fails with a diagnostic,
+    never a KeyError/AttributeError."""
+
+    def test_candidate_extra_series_is_a_failure(self):
+        base = _artifact({"a_cycles": _series()})
+        new = _artifact({"a_cycles": _series(),
+                         "b_cycles": _series()})
+        regressions, lines = bc.compare(base, new, threshold_pct=10.0,
+                                        metrics=("mean",))
+        assert regressions == ["b_cycles"]
+        extra = [ln for ln in lines if ln.startswith("EXTRA")]
+        assert len(extra) == 1 and "b_cycles" in extra[0]
+        assert "not in baseline" in extra[0]
+
+    def test_extra_series_not_flagged_under_series_filter(self):
+        base = _artifact({"a_cycles": _series()})
+        new = _artifact({"a_cycles": _series(),
+                         "b_cycles": _series()})
+        regressions, _ = bc.compare(base, new, threshold_pct=10.0,
+                                    metrics=("mean",),
+                                    only_series=["a_cycles"])
+        assert regressions == []
+
+    def test_filtered_series_missing_from_baseline_dies(self, capsys):
+        base = _artifact({"a_cycles": _series()})
+        new = _artifact({"a_cycles": _series()})
+        try:
+            bc.compare(base, new, threshold_pct=10.0, metrics=("mean",),
+                       only_series=["nope"])
+        except SystemExit as exc:
+            assert exc.code == 2
+        else:
+            raise AssertionError("expected SystemExit(2)")
+        assert "'nope' not in baseline" in capsys.readouterr().err
+
+    def test_non_dict_series_payload_dies(self, tmp_path, capsys):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"schema_version": 2,
+                                 "series": ["not", "a", "mapping"]}))
+        try:
+            bc.load_artifact(str(p))
+        except SystemExit as exc:
+            assert exc.code == 2
+        else:
+            raise AssertionError("expected SystemExit(2)")
+        assert "summary dicts" in capsys.readouterr().err
+
+    def test_non_dict_series_entry_dies(self, tmp_path, capsys):
+        p = tmp_path / "bad2.json"
+        p.write_text(json.dumps({"schema_version": 2,
+                                 "series": {"a_cycles": [1, 2, 3]}}))
+        try:
+            bc.load_artifact(str(p))
+        except SystemExit as exc:
+            assert exc.code == 2
+        else:
+            raise AssertionError("expected SystemExit(2)")
+        assert "summary dicts" in capsys.readouterr().err

@@ -11,7 +11,9 @@ compared against the new artifact.  A relative increase above the
 threshold (default 10%) is a regression; improvements and sub-threshold
 noise pass.  A series that has samples in the baseline but is missing or
 empty in the new artifact also fails — a silently vanished measurement
-is worse than a slow one.
+is worse than a slow one.  So does a series the new artifact has that
+the baseline lacks (unless ``--series`` narrows the comparison): an
+ungated measurement means the committed baseline is stale.
 
 The report is a per-series table showing **every** gated statistic
 (baseline -> new, relative delta), with statistics beyond the threshold
@@ -55,6 +57,11 @@ def load_artifact(path: str) -> dict:
         _die(f"error: cannot read artifact {path}: {exc}")
     if not isinstance(payload, dict) or "series" not in payload:
         _die(f"error: {path} is not a bench artifact (no 'series' key)")
+    series = payload["series"]
+    if not isinstance(series, dict) \
+            or not all(isinstance(s, dict) for s in series.values()):
+        _die(f"error: {path} is not a bench artifact "
+             f"('series' must map names to summary dicts)")
     return payload
 
 
@@ -154,6 +161,15 @@ def compare(baseline: dict, new: dict, *, threshold_pct: float,
         if breached:
             regressions.append(name)
         rows.append(("REGRESS" if breached else "ok", name, cells))
+    if only_series is None:
+        # A series the candidate grew that the baseline never measured is
+        # a gate with no reference — fail loudly so the baseline gets
+        # regenerated rather than silently leaving the new series ungated.
+        for name in sorted(set(new_series) - set(base_series)):
+            regressions.append(name)
+            rows.append(("EXTRA", name,
+                         ["in new artifact but not in baseline — "
+                          "regenerate the committed baseline"]))
     return regressions, format_rows(rows)
 
 
@@ -183,7 +199,7 @@ def main(argv: list[str] | None = None) -> int:
     for line in lines:
         print(f"  {line}")
     if regressions:
-        print(f"FAIL: {len(regressions)} series regressed: "
+        print(f"FAIL: {len(regressions)} series regressed or mismatched: "
               f"{', '.join(regressions)}")
         return 1
     print("PASS: no series regressed")
