@@ -27,12 +27,20 @@ Commands:
   ``--soak-board-kills N`` runs the chaos soak, ``--migration-demo``
   proves a cross-board migration bit-exact, ``--bench`` writes the
   ``BENCH_fleet_quick.json`` latency artifact
+* ``explore``  — coverage-guided fault-space exploration (docs/FAULTS.md
+  §5): a clean pilot harvests trigger windows, then single- and
+  two-fault schedules are executed deterministically under ``--budget``
+  with invariant sweeps as the oracle, gated on a recovery-path
+  coverage floor; failing schedules are delta-debugged to minimal
+  repro JSONs replayable via ``--repro``
 * ``postmortem`` — validate and pretty-print a flight-recorder bundle
   (docs/OBSERVABILITY.md §13)
 
-``soak`` and ``fleet`` distinguish failure classes in their exit code:
-an actual invariant violation (the flight recorder fired) exits 4,
-any other failed check exits 1 (docs/RECOVERY.md).
+``soak``, ``fleet`` and ``explore`` distinguish failure classes in
+their exit code: an actual invariant violation (the flight recorder
+fired) exits 4, any other failed check exits 1, and an ``explore`` run
+that is clean but misses its coverage floor exits 3
+(docs/RECOVERY.md §10).
 
 ``run``, ``bench`` and ``soak`` take ``--stream-out FILE`` to write the
 JSONL telemetry stream (deterministic metric deltas at a sim-cycle
@@ -244,6 +252,17 @@ def cmd_faults(args: argparse.Namespace) -> int:
 
     from .faults.matrix import SCENARIOS, run_all, run_scenario
 
+    if args.list_sites:
+        from .faults.registry import SITES
+
+        print("fault sites (FaultSpec.site; docs/FAULTS.md §1):")
+        for name, s in SITES.items():
+            print(f"  {name:22s} [{s.layer}] {s.effect}")
+            if s.targets:
+                print(f"  {'':22s}   {s.target_param}: "
+                      f"{', '.join(s.targets)}")
+            print(f"  {'':22s}   recovery: {', '.join(s.recovery_paths)}")
+        return 0
     if args.list:
         from .faults.plan import SITE_EFFECTS
 
@@ -459,6 +478,106 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explore(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .faults.explore import replay_repro, run_explore
+    from .faults.soak import incident_exit_code
+
+    if args.repro:
+        try:
+            with open(args.repro, encoding="utf-8") as f:
+                repro = json.load(f)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read repro {args.repro}: {exc}",
+                  file=sys.stderr)
+            return 2
+        try:
+            result = replay_repro(repro, flight_path=args.flight_out)
+        except (KeyError, ValueError) as exc:
+            print(f"error: malformed repro {args.repro}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(json.dumps(result, indent=2, sort_keys=True))
+        if result["reproduced"]:
+            print("REPRO: failure reproduced byte-identically",
+                  file=sys.stderr)
+            return 0
+        print("REPRO: did not reproduce (deterministic="
+              f"{result['deterministic']}, still_failing="
+              f"{result['still_failing']})", file=sys.stderr)
+        return 1
+
+    stream = sink = None
+    if args.stream_out:
+        from .obs.stream import TelemetryStream
+
+        try:
+            sink = open(args.stream_out, "w", encoding="utf-8")
+        except OSError as exc:
+            print(f"error: cannot write stream to {args.stream_out}: {exc}",
+                  file=sys.stderr)
+            return 2
+        # Record bus: one ``explore_schedule`` record per executed
+        # schedule, one ``explore_failure`` per shrunk failure.
+        stream = TelemetryStream(None, interval_cycles=1, sink=sink,
+                                 source="explore", seed=args.seed)
+    try:
+        try:
+            payload = run_explore(
+                budget=args.budget, seed=args.seed,
+                floor=args.coverage_floor, mutate=args.mutate,
+                include_fleet=not args.no_fleet, stream=stream,
+                flight_path=args.flight_out)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    finally:
+        if stream is not None:
+            stream.close()
+        if sink is not None:
+            sink.close()
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as f:
+                f.write(text)
+        except OSError as exc:
+            print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+            return 1
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    if args.repro_out and payload["repros"]:
+        try:
+            os.makedirs(args.repro_out, exist_ok=True)
+            for repro in payload["repros"]:
+                path = os.path.join(
+                    args.repro_out, f"REPRO_{repro['from_schedule']}.json")
+                with open(path, "w", encoding="utf-8") as f:
+                    json.dump(repro, f, indent=2, sort_keys=True)
+                    f.write("\n")
+                print(f"wrote {path}", file=sys.stderr)
+        except OSError as exc:
+            print(f"error: cannot write repros to {args.repro_out}: {exc}",
+                  file=sys.stderr)
+            return 1
+    t = payload["totals"]
+    cov = payload["coverage"]
+    print(f"explore: {t['executed']} schedules ({t['singles']} singles, "
+          f"{t['pairs']} pairs), {t['failures']} failures, "
+          f"sites {cov['site_fraction']:.0%}, "
+          f"paths {cov['path_fraction']:.0%} "
+          f"(floor {cov['floor']:.0%})", file=sys.stderr)
+    if args.stream_out and stream is not None:
+        print(f"wrote {stream.records} telemetry records "
+              f"to {args.stream_out}", file=sys.stderr)
+    if payload["incident"] is not None:
+        print(f"EXPLORE: {payload['incident']}", file=sys.stderr)
+    return incident_exit_code(payload)
+
+
 def cmd_postmortem(args: argparse.Namespace) -> int:
     import json
 
@@ -564,6 +683,10 @@ def main(argv: list[str] | None = None) -> int:
         "faults", help="run the deterministic fault-injection matrix")
     p_faults.add_argument("--list", action="store_true",
                           help="list the scenario catalog and exit")
+    p_faults.add_argument("--list-sites", action="store_true",
+                          help="list the fault-site registry (layer, "
+                               "valid targets, expected recovery paths) "
+                               "and exit")
     p_faults.add_argument("--scenario", default="all", metavar="NAME",
                           help="scenario name, or 'all' (default)")
     p_faults.add_argument("--seed", type=int, default=1)
@@ -647,6 +770,42 @@ def main(argv: list[str] | None = None) -> int:
                               "bundle from the implicated board on the "
                               "first fleet invariant violation")
     p_fleet.set_defaults(fn=cmd_fleet)
+
+    p_explore = sub.add_parser(
+        "explore", help="coverage-guided fault-space exploration with "
+                        "delta-debugged minimal repros (docs/FAULTS.md §5)")
+    p_explore.add_argument("--budget", type=int, default=150,
+                           help="schedule budget: max fault schedules to "
+                                "execute (default: 150)")
+    p_explore.add_argument("--seed", type=int, default=7)
+    p_explore.add_argument("--coverage-floor", type=float, default=0.9,
+                           metavar="FRAC",
+                           help="minimum fraction of registered recovery "
+                                "paths that must fire (default: 0.9; all "
+                                "sites must always fire)")
+    p_explore.add_argument("--mutate", default=None, metavar="NAME",
+                           help="disable one recovery path before every "
+                                "inline run (self-test mode; also via "
+                                "REPRO_EXPLORE_MUTATE)")
+    p_explore.add_argument("--no-fleet", action="store_true",
+                           help="skip the board.* fleet schedules")
+    p_explore.add_argument("--repro", metavar="FILE", default=None,
+                           help="replay a shrunk repro JSON twice and "
+                                "verify the byte-identical failure "
+                                "instead of exploring")
+    p_explore.add_argument("--out", metavar="FILE", default=None,
+                           help="write the JSON payload to FILE instead "
+                                "of stdout")
+    p_explore.add_argument("--repro-out", metavar="DIR", default=None,
+                           help="write each shrunk repro as "
+                                "DIR/REPRO_<schedule>.json")
+    p_explore.add_argument("--stream-out", metavar="FILE", default=None,
+                           help="write explore_schedule/explore_failure "
+                                "records as JSONL telemetry")
+    p_explore.add_argument("--flight-out", metavar="FILE", default=None,
+                           help="dump a post-mortem bundle for the first "
+                                "failing schedule")
+    p_explore.set_defaults(fn=cmd_explore)
 
     p_pm = sub.add_parser(
         "postmortem", help="validate + pretty-print a flight-recorder "

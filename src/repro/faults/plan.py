@@ -41,44 +41,25 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..common.rng import make_rng
-
-# -- site name constants ------------------------------------------------------
-
-PCAP_TRANSFER_ERROR = "pcap.transfer_error"
-PCAP_HANG = "pcap.hang"
-BITSTREAM_CORRUPT = "bitstream.corrupt"
-PRR_HANG = "prr.hang"
-PRR_SPURIOUS_DONE = "prr.spurious_done"
-PLIRQ_STORM = "plirq.storm"
-GUEST_BAD_HYPERCALL = "guest.bad_hypercall"
-GUEST_WILD_POINTER = "guest.wild_pointer"
-SERVICE_CRASH = "service.crash"
-SERVICE_HANG = "service.hang"
-VM_KILL = "vm.kill"
-BOARD_CRASH = "board.crash"
-BOARD_HANG = "board.hang"
-BOARD_PARTITION = "board.partition"
-
-#: One-line effect per site, used by ``python -m repro faults --list``.
-SITE_EFFECTS = {
-    PCAP_TRANSFER_ERROR: "the DevC transfer aborts with a CRC/DMA error",
-    PCAP_HANG: "the transfer stalls past its watchdog timeout",
-    BITSTREAM_CORRUPT: "the streamed bitstream fails its checksum on landing",
-    PRR_HANG: "a started hardware task never signals DONE",
-    PRR_SPURIOUS_DONE: "the PRR raises its PL IRQ with no completed work",
-    PLIRQ_STORM: "a burst of unsolicited PL IRQs on one line",
-    GUEST_BAD_HYPERCALL: "a guest issues malformed hypercalls (rogue module)",
-    GUEST_WILD_POINTER: "a guest programs wild DMA pointers (rogue module)",
-    SERVICE_CRASH: "the manager service dies at a named crashpoint",
-    SERVICE_HANG: "the manager service stops draining its mailbox",
-    VM_KILL: "a guest VM is killed outright (lifecycle recovery)",
-    BOARD_CRASH: "a fleet board's worker dies outright (docs/FLEET.md)",
-    BOARD_HANG: "a fleet board freezes: alive but makes no progress",
-    BOARD_PARTITION: "a fleet board is isolated from the dispatcher",
-}
-
-#: Every site the injector understands; plans naming others are rejected.
-ALL_SITES = tuple(SITE_EFFECTS)
+from .registry import (  # noqa: F401  (canonical spellings, re-exported)
+    ALL_SITES,
+    BITSTREAM_CORRUPT,
+    BOARD_CRASH,
+    BOARD_HANG,
+    BOARD_PARTITION,
+    GUEST_BAD_HYPERCALL,
+    GUEST_WILD_POINTER,
+    PCAP_HANG,
+    PCAP_TRANSFER_ERROR,
+    PLIRQ_STORM,
+    PRR_HANG,
+    PRR_SPURIOUS_DONE,
+    SERVICE_CRASH,
+    SERVICE_HANG,
+    SITE_EFFECTS,
+    VM_KILL,
+    validate_spec_params,
+)
 
 #: max_fires value meaning "no limit".
 UNLIMITED = -1
@@ -109,11 +90,31 @@ class FaultSpec:
         if self.site not in ALL_SITES:
             raise ValueError(f"unknown fault site {self.site!r} "
                              f"(known: {', '.join(ALL_SITES)})")
+        # Fail fast on a target that can never match (typo'd crashpoint,
+        # unknown restart policy): such a spec would silently never fire
+        # and the run would "pass" without testing anything.
+        validate_spec_params(self.site, self.params)
         if self.every < 1:
             raise ValueError(f"every must be >= 1, got {self.every}")
         if not 0.0 <= self.probability <= 1.0:
             raise ValueError(f"probability must be in [0, 1], "
                              f"got {self.probability}")
+
+    def as_dict(self) -> dict:
+        """JSON-stable form (explore schedules, shrinker repro files)."""
+        return {"site": self.site, "after": self.after,
+                "max_fires": self.max_fires, "every": self.every,
+                "probability": self.probability,
+                "params": dict(sorted(self.params.items()))}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultSpec":
+        """Inverse of :meth:`as_dict` (validates like the constructor)."""
+        return cls(site=d["site"], after=int(d.get("after", 0)),
+                   max_fires=int(d.get("max_fires", 1)),
+                   every=int(d.get("every", 1)),
+                   probability=float(d.get("probability", 1.0)),
+                   params=dict(d.get("params", {})))
 
 
 class FaultPlan:

@@ -44,21 +44,29 @@ EXIT_CHECKS_FAILED = 1
 #: invariant violation — the "stop the line" signal CI treats specially
 #: (distinct from :data:`~repro.obs.slo.EXIT_SLO_BREACH` = 3).
 EXIT_INVARIANT_VIOLATION = 4
+#: CLI exit code for an otherwise-clean explorer run that missed its
+#: recovery-path coverage floor — an SLO-style budget miss, so it shares
+#: the :data:`~repro.obs.slo.EXIT_SLO_BREACH` value (docs/RECOVERY.md §10).
+EXIT_COVERAGE_FLOOR = 3
 
 
-def classify_incident(violations, runs_ok: bool,
-                      reached_target: bool) -> str | None:
+def classify_incident(violations, runs_ok: bool, reached_target: bool,
+                      *, coverage_ok: bool = True) -> str | None:
     """The payload's ``incident`` field: what kind of failure, if any.
 
     ``"invariant_violation"`` when any invariant sweep reported a
     violation (the flight recorder fired), ``"checks_failed"`` for any
     other failure (a per-run check tripped, or the fault target was not
-    reached), ``None`` for a clean soak.
+    reached), ``"coverage_floor"`` for a clean run that nevertheless
+    missed its recovery-path coverage floor (explorer only), ``None``
+    for a clean soak.
     """
     if violations:
         return "invariant_violation"
     if not runs_ok or not reached_target:
         return "checks_failed"
+    if not coverage_ok:
+        return "coverage_floor"
     return None
 
 
@@ -67,6 +75,8 @@ def incident_exit_code(payload: dict[str, Any]) -> int:
     incident = payload.get("incident")
     if incident == "invariant_violation":
         return EXIT_INVARIANT_VIOLATION
+    if incident == "coverage_floor":
+        return EXIT_COVERAGE_FLOOR
     if incident is not None:
         return EXIT_CHECKS_FAILED
     return 0

@@ -59,6 +59,12 @@ class KillSpec:
     site: str
     duration_ticks: int = 0     # hang/partition heal time; 0 for crash
 
+    def __post_init__(self) -> None:
+        if self.site not in BOARD_SITES:
+            raise ValueError(f"KillSpec site must be a fleet fault domain "
+                             f"(valid: {', '.join(BOARD_SITES)}), "
+                             f"got {self.site!r}")
+
     def as_dict(self) -> dict[str, Any]:
         return {"tick": self.tick, "board": self.board, "site": self.site,
                 "duration_ticks": self.duration_ticks}

@@ -167,6 +167,29 @@ def _payload(disp: Dispatcher, cfg: FleetConfig,
     }
 
 
+# -- programmatic single-schedule entry (the explorer's fleet executor) -------
+
+
+def run_fleet_schedule(kills: tuple[KillSpec, ...], *, seed: int,
+                       boards: int = 3, ticks: int = 24,
+                       tenants_per_board: int = 2,
+                       workers: str = "inline",
+                       flight_path: str | None = None) -> dict[str, Any]:
+    """Execute exactly one board-fault schedule against a small fleet
+    and return the JSON-stable :func:`run_fleet` payload.
+
+    This is the :mod:`repro.faults.explore` entry point: the explorer
+    hands it a candidate ``kills`` tuple and fingerprints the payload's
+    ``fleet`` totals for recovery-path coverage.  Same ``(kills, seed)``
+    always yields a byte-identical payload.
+    """
+    cfg = FleetConfig(boards=boards, seed=seed, ticks=ticks,
+                      tenants_per_board=tenants_per_board, workers=workers)
+    return run_fleet(cfg, kills=tuple(sorted(
+        kills, key=lambda k: (k.tick, k.board, k.site))),
+        flight_path=flight_path)
+
+
 # -- chaos soak ---------------------------------------------------------------
 
 

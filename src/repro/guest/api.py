@@ -181,6 +181,7 @@ def _program_and_wait(os: Ucos, iface: int, data_in: bytes, *,
                 return FAULTED
             if status != int(PrrStatus.BUSY):
                 break
+            _note_client_rewait(os)
     else:
         status = int(PrrStatus.BUSY)
         for _ in range(max_ticks):
@@ -222,6 +223,16 @@ def hw_data_flag(os: Ucos) -> Generator:
     consistent, 1 = the task was reclaimed and its registers saved)."""
     raw = yield SectionRead(0, 4)
     return int.from_bytes(raw[:4], "little")
+
+
+def _note_client_rewait(os: Ucos) -> None:
+    """Book a spurious-wake re-wait (woken while the task is still BUSY)
+    in the kernel's obs layer — the ``client_rewait`` recovery path of
+    the fault-site registry (no-op in the native port)."""
+    kernel = getattr(getattr(os, "port", None), "kernel", None)
+    if kernel is None:
+        return
+    kernel.metrics.counter("recovery.client_rewaits").inc()
 
 
 def _note_sw_fallback(os: Ucos, kind: str) -> None:

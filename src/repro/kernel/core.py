@@ -860,6 +860,11 @@ class MiniNova:
             num = Hc(exit_.num)
         except ValueError:
             self.metrics.counter("kernel.hypercalls", hc="INVALID").inc()
+            # An unassigned number is the same guest fault class as a
+            # malformed argument: both land in the hypercall guard.
+            self.metrics.counter("kernel.hypercall_faults").inc()
+            self.tracer.mark("hypercall_rejected", cat="fault",
+                             vm=pd.vm_id, hc=int(exit_.num))
             exit_.result = HcStatus.ERR_ARG
             pd.runner.complete_hypercall(exit_)
             self.acct.pop(ctx)

@@ -155,6 +155,26 @@ class TelemetryStream:
         self._emit("aggregate", {"shards": shards, "info": info,
                                  "snapshot": snapshot.to_dict()})
 
+    def emit_explore_schedule(self, schedule_id: str, *, sites: list[str],
+                              fired: list[str], paths: list[str],
+                              novel: bool, ok: bool, **info: Any) -> None:
+        """One executed explorer schedule: which sites fired, which
+        recovery paths the run's coverage fingerprint contains."""
+        self._emit("explore_schedule",
+                   {"schedule_id": schedule_id, "sites": sites,
+                    "fired": fired, "paths": paths, "novel": novel,
+                    "ok": ok, "info": info})
+
+    def emit_explore_failure(self, schedule_id: str, *, reasons: list[str],
+                             shrunk_to: int, replayed_identical: bool,
+                             **info: Any) -> None:
+        """A failing explorer schedule and its shrunk minimal repro."""
+        self._emit("explore_failure",
+                   {"schedule_id": schedule_id, "reasons": reasons,
+                    "shrunk_to": shrunk_to,
+                    "replayed_identical": replayed_identical,
+                    "info": info})
+
     def close(self) -> None:
         """Flush the final delta, full snapshot, and the ``end`` record."""
         if self.closed:

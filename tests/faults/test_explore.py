@@ -1,0 +1,144 @@
+"""The coverage-guided explorer: tracker units, pilot shape, and the
+same-seed byte-identity property on a small budget (docs/FAULTS.md §5)."""
+
+import json
+
+import pytest
+
+from repro.faults.coverage import CoverageTracker, paths_fired
+from repro.faults.explore import (
+    Schedule,
+    _windows,
+    run_explore,
+    run_inline_schedule,
+    run_pilot,
+)
+from repro.faults.registry import ALL_SITES, RECOVERY_PATHS
+from repro.faults.soak import (
+    EXIT_COVERAGE_FLOOR,
+    classify_incident,
+    incident_exit_code,
+)
+
+
+class TestCoverageTracker:
+    def test_first_observation_is_novel(self):
+        t = CoverageTracker()
+        assert t.observe(["prr.hang"], ["watchdog_reclaim"]) is True
+
+    def test_repeat_observation_is_not_novel(self):
+        t = CoverageTracker()
+        t.observe(["prr.hang"], ["watchdog_reclaim"])
+        assert t.observe(["prr.hang"], ["watchdog_reclaim"]) is False
+
+    def test_new_pair_on_known_path_is_novel(self):
+        t = CoverageTracker()
+        t.observe(["prr.hang"], ["watchdog_reclaim"])
+        assert t.observe(["service.crash"], ["watchdog_reclaim"]) is True
+
+    def test_predicted_gain_prefers_uncovered_paths(self):
+        t = CoverageTracker()
+        before = t.predicted_gain(["prr.hang"])
+        t.observe(["prr.hang"], ["watchdog_reclaim"])
+        assert t.predicted_gain(["prr.hang"]) < before
+
+    def test_report_floor_requires_all_sites(self):
+        t = CoverageTracker()
+        for s in ALL_SITES:
+            t.observe([s], list(RECOVERY_PATHS))
+        r = t.report(floor=0.9)
+        assert r["floor_ok"] and r["site_fraction"] == 1.0
+        assert r["uncovered_sites"] == [] and r["uncovered_paths"] == []
+
+    def test_report_floor_fails_on_missing_site(self):
+        t = CoverageTracker()
+        for s in ALL_SITES[:-1]:
+            t.observe([s], list(RECOVERY_PATHS))
+        assert not t.report(floor=0.9)["floor_ok"]
+
+
+def test_paths_fired_reads_registry_metrics():
+    totals = {"recovery.watchdog_reclaims": 2, "supervisor.restarts": 1}
+    fired = paths_fired(lambda n: totals.get(n, 0))
+    assert fired == ("manager_respawn", "watchdog_reclaim")
+
+
+def test_paths_fired_subtracts_baseline():
+    fired = paths_fired(lambda n: 3, baseline=lambda n: 3)
+    assert fired == ()
+
+
+def test_windows_are_sorted_within_budget():
+    assert _windows(0) == (0,)
+    assert _windows(1) == (0,)
+    assert _windows(6) == (0, 2, 4)
+    for w in _windows(36):
+        assert 0 <= w < 36
+
+
+def test_schedule_sites_sorted_unique():
+    s = Schedule("s000", "inline",
+                 ({"site": "prr.hang"}, {"site": "pcap.hang"},
+                  {"site": "prr.hang"}))
+    assert s.sites() == ("pcap.hang", "prr.hang")
+    assert s.as_dict()["id"] == "s000"
+
+
+def test_coverage_floor_exit_classification():
+    incident = classify_incident([], True, True, coverage_ok=False)
+    assert incident == "coverage_floor"
+    assert incident_exit_code({"incident": incident}) == \
+        EXIT_COVERAGE_FLOOR == 3
+    # Corruption and failed checks still dominate a missed floor.
+    assert classify_incident(["I1: bad"], True, True,
+                             coverage_ok=False) == "invariant_violation"
+    assert classify_incident([], False, True,
+                             coverage_ok=False) == "checks_failed"
+
+
+@pytest.fixture(scope="module")
+def pilot():
+    return run_pilot(3)
+
+
+def test_pilot_counts_every_consulted_site(pilot):
+    occ = pilot["occurrences"]
+    for site in ("pcap.transfer_error", "prr.hang", "service.crash",
+                 "service.hang"):
+        assert occ[site] >= 1, site
+
+
+def test_pilot_landmarks_inside_the_run(pilot):
+    lm = pilot["landmarks"]
+    assert 0 < lm["reconfig_mid"] < lm["exec_mid"] < pilot["cycles"]
+    assert 0 < lm["mid_run"] <= pilot["cycles"]
+
+
+def test_unknown_mutation_rejected():
+    with pytest.raises(ValueError, match="watchdog_reclaim"):
+        run_explore(budget=1, seed=1, mutate="nonsense")
+
+
+def test_inline_schedule_result_is_json_stable():
+    res = run_inline_schedule(
+        ({"site": "pcap.transfer_error", "probability": 1.0, "after": 0,
+          "every": 1, "max_fires": 1, "params": {}},), seed=5)
+    blob = json.dumps(res, sort_keys=True)
+    assert json.loads(blob) == res
+    assert res["ok"] and "pcap.transfer_error" in res["fired_sites"]
+    assert "pcap_retry" in res["paths"]
+
+
+def test_small_budget_explore_is_byte_identical():
+    """The acceptance property at test scale: same (budget, seed) ⇒
+    byte-identical payload, including the coverage report and metrics."""
+    kw = dict(budget=4, seed=3, include_fleet=False)
+    p1, p2 = run_explore(**kw), run_explore(**kw)
+    b1 = json.dumps(p1, sort_keys=True, separators=(",", ":"))
+    b2 = json.dumps(p2, sort_keys=True, separators=(",", ":"))
+    assert b1 == b2
+    assert p1["totals"]["executed"] == 4
+    assert p1["totals"]["failures"] == 0
+    # A 4-schedule run cannot cover 14 sites: the floor gate must trip.
+    assert p1["incident"] == "coverage_floor" and not p1["ok"]
+    assert p1["metrics"]["explore.schedules"] == 4

@@ -20,6 +20,12 @@ and additionally runs a small scenario to collect every metric name
 record emissions (``._emit("type", ...)``) and checks them against the
 §10 wire-schema table (rows of the form ``| `type` | stream | ...``).
 
+**Fault sites** — imports the fault-site registry
+(``repro.faults.registry.ALL_SITES``) and checks it against the site
+table of docs/FAULTS.md §1 (rows whose first cell is a dotted
+backticked name), so the documented fault surface can never drift from
+the authoritative registry.
+
 **Doc links** — scans README.md, DESIGN.md and every page under
 ``docs/`` for ``docs/<page>.md`` references and fails if a referenced
 page does not exist, so the docs index can never silently dangle.
@@ -152,6 +158,29 @@ def stream_records_in_doc() -> set[str]:
     return out
 
 
+FAULT_DOC = REPO / "docs" / "FAULTS.md"
+
+#: §1 site-table rows: a dotted backticked site name in the first cell.
+DOC_SITE_ROW_RE = re.compile(r"^\|\s*`([a-z0-9_]+(?:\.[a-z0-9_]+)+)`\s*\|")
+
+
+def fault_sites_in_doc() -> set[str]:
+    """Fault-site names from the docs/FAULTS.md §1 table."""
+    out: set[str] = set()
+    for line in FAULT_DOC.read_text().splitlines():
+        m = DOC_SITE_ROW_RE.match(line.strip())
+        if m:
+            out.add(m.group(1))
+    return out
+
+
+def fault_sites_in_registry() -> set[str]:
+    """The authoritative site list from the fault-site registry."""
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.faults.registry import ALL_SITES
+    return set(ALL_SITES)
+
+
 #: ``docs/<page>.md`` references in prose (README, DESIGN, docs/ pages).
 DOC_LINK_RE = re.compile(r"docs/([A-Za-z0-9_][A-Za-z0-9_.-]*\.md)")
 
@@ -185,16 +214,17 @@ def metrics_at_runtime() -> set[str]:
 
 
 def _report(kind: str, missing_doc: list[str], stale_doc: list[str],
-            sites: dict[str, set[str]] | None = None) -> bool:
+            sites: dict[str, set[str]] | None = None,
+            doc: str = "docs/OBSERVABILITY.md") -> bool:
     if missing_doc:
-        print(f"{kind} in src/repro but missing from docs/OBSERVABILITY.md:",
+        print(f"{kind} in src/repro but missing from {doc}:",
               file=sys.stderr)
         for name in missing_doc:
             where = (f"  ({', '.join(sorted(sites[name]))})"
                      if sites and name in sites else "")
             print(f"  {name}{where}", file=sys.stderr)
     if stale_doc:
-        print(f"{kind} documented in docs/OBSERVABILITY.md but absent from "
+        print(f"{kind} documented in {doc} but absent from "
               "src/repro:", file=sys.stderr)
         for name in stale_doc:
             print(f"  {name}", file=sys.stderr)
@@ -234,6 +264,16 @@ def main() -> int:
     failed |= _report("stream records", sorted(set(s_code) - s_doc),
                       sorted(s_doc - set(s_code)), s_code)
 
+    f_reg = fault_sites_in_registry()
+    f_doc = fault_sites_in_doc()
+    if not f_reg or not f_doc:
+        print("error: found no registry fault sites or no site-table rows "
+              "in docs/FAULTS.md — the site scanner is probably broken",
+              file=sys.stderr)
+        return 2
+    failed |= _report("fault sites", sorted(f_reg - f_doc),
+                      sorted(f_doc - f_reg), doc="docs/FAULTS.md §1")
+
     m_runtime = metrics_at_runtime()
     undoc_runtime = sorted(m_runtime - m_doc)
     if undoc_runtime:
@@ -263,6 +303,7 @@ def main() -> int:
     print(f"metric catalog OK: {len(m_doc)} metrics documented, "
           f"{len(m_runtime)} registered at runtime")
     print(f"stream schema OK: {len(s_doc)} record types documented")
+    print(f"fault sites OK: {len(f_reg)} registered, all in docs/FAULTS.md")
     print(f"doc links OK: {len(links)} docs pages referenced, all present")
     return 0
 
