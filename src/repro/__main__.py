@@ -24,8 +24,10 @@ Commands:
 * ``fleet``    — run a supervised multi-board fleet with open-loop tenant
   traffic (docs/FLEET.md): placement, heartbeat failure detection and
   checkpoint-based live migration across board fault domains.
-  ``--soak-board-kills N`` runs the chaos soak, ``--migration-demo``
-  proves a cross-board migration bit-exact, ``--bench`` writes the
+  ``--soak-board-kills N`` runs the chaos soak, ``--soak-surge`` runs
+  the overload surge soak (admission control, retry budgets, brownout;
+  docs/FLEET.md §11), ``--migration-demo`` proves a cross-board
+  migration bit-exact, ``--bench`` writes the
   ``BENCH_fleet_quick.json`` latency artifact
 * ``explore``  — coverage-guided fault-space exploration (docs/FAULTS.md
   §5): a clean pilot harvests trigger windows, then single- and
@@ -374,7 +376,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     from .fleet.dispatcher import FleetConfig
     from .fleet.harness import (make_kill_schedule, run_fleet,
                                 run_fleet_bench, run_fleet_soak,
-                                run_migration_demo)
+                                run_migration_demo, run_surge_soak)
 
     if args.migration_demo:
         demo = run_migration_demo(seed=args.seed, workers=args.workers)
@@ -415,7 +417,14 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         stream = TelemetryStream(None, interval_cycles=1, sink=sink,
                                  source="fleet", seed=args.seed)
     try:
-        if args.soak_board_kills is not None:
+        if args.soak_surge:
+            # The surge soak is a fixed, calibrated scenario (escalating
+            # surge factors against a tuned admission config), so it
+            # takes only the seed and worker mode from the CLI.
+            payload = run_surge_soak(seed=args.seed, workers=args.workers,
+                                     stream=stream,
+                                     flight_path=args.flight_out)
+        elif args.soak_board_kills is not None:
             payload = run_fleet_soak(
                 seed=args.seed, board_kills=args.soak_board_kills,
                 boards=args.boards, workers=args.workers,
@@ -447,7 +456,17 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}")
     else:
         sys.stdout.write(text)
-    if args.soak_board_kills is not None:
+    if args.soak_surge:
+        s = payload["slo"]
+        print(f"surge-soak: {len(payload['runs'])} loaded runs, "
+              f"critical p99 {s['critical_p99']['worst']} vs baseline "
+              f"{s['critical_p99']['baseline']} (slack "
+              f"{s['critical_p99']['slack']}), goodput ratio "
+              f"{s['critical_goodput_floor']['worst']} (floor "
+              f"{s['critical_goodput_floor']['min_ratio']}), "
+              f"{len(payload['violations'])} invariant violations",
+              file=sys.stderr)
+    elif args.soak_board_kills is not None:
         t = payload["totals"]
         print(f"fleet-soak: {t['runs']} runs, {t['kills_fired']} board "
               f"kills, {t['migrations']} migrations, "
@@ -465,7 +484,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     if args.stream_out and stream is not None:
         print(f"wrote {stream.records} telemetry records "
               f"to {args.stream_out}", file=sys.stderr)
-    if args.soak_board_kills is not None:
+    if args.soak_surge or args.soak_board_kills is not None:
         if payload["incident"] is not None:
             print(f"FLEET-SOAK: {payload['incident']}", file=sys.stderr)
         return incident_exit_code(payload)
@@ -750,6 +769,13 @@ def main(argv: list[str] | None = None) -> int:
                          help="run the chaos soak instead: repeat seeded "
                               "fleet runs until N board faults fired, "
                               "sweeping F1-F6 + board invariants each run")
+    p_fleet.add_argument("--soak-surge", action="store_true",
+                         help="run the overload surge soak instead: a "
+                              "baseline pass then escalating seeded "
+                              "traffic surges + retry storms + a board "
+                              "crash, gating O1-O5/F1-F6, the critical "
+                              "p99 SLO and the goodput floor "
+                              "(docs/FLEET.md §11)")
     p_fleet.add_argument("--migration-demo", action="store_true",
                          help="run the live-migration acceptance proof: "
                               "crash a board mid-workload, finish on a "

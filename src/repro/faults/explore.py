@@ -57,8 +57,10 @@ from .plan import (
     PLIRQ_STORM,
     PRR_HANG,
     PRR_SPURIOUS_DONE,
+    RETRY_STORM,
     SERVICE_CRASH,
     SERVICE_HANG,
+    TRAFFIC_SURGE,
     UNLIMITED,
     VM_KILL,
     FaultPlan,
@@ -245,6 +247,10 @@ def run_fleet_exec(faults, *, seed: int,
         "fleet.boards.declared_dead": fleet["boards_declared_dead"],
         "fleet.migrations": fleet["migrations"],
         "fleet.boards.rejoined": fleet["boards_rejoined"],
+        "fleet.admission.dropped": fleet["admission_dropped"],
+        "fleet.admission.degraded": fleet["admission_degraded"],
+        "fleet.rpc.retries_denied": fleet["rpc_retries_denied"],
+        "fleet.breaker.opens": fleet["breaker_opens"],
     }
     violations = (list(payload["violations"])
                   + [f"board {b}: {v}"
@@ -389,6 +395,9 @@ def _fleet_singles() -> list[tuple[tuple, str]]:
 
     # deadline_ticks is 3: duration 2 heals before the detector declares
     # the board dead; duration 6 crosses it (fence, then rejoin/migrate).
+    # The overload sites ride the armed EXPLORE_OVERLOAD plane: a surge
+    # exercises admission_shed/rate_degrade, a storm retry_budget/
+    # breaker_trip (docs/FLEET.md §11).
     return [
         ((K(8, 1, BOARD_CRASH),), "board.crash mid-run"),
         ((K(3, 0, BOARD_CRASH),), "board.crash early"),
@@ -396,6 +405,8 @@ def _fleet_singles() -> list[tuple[tuple, str]]:
         ((K(8, 1, BOARD_HANG, 6),), "board.hang past deadline"),
         ((K(8, 2, BOARD_PARTITION, 2),), "board.partition transient"),
         ((K(8, 2, BOARD_PARTITION, 6),), "board.partition past deadline"),
+        ((K(6, 0, TRAFFIC_SURGE, 6),), "traffic.surge sustained"),
+        ((K(8, 1, RETRY_STORM, 2),), "retry.storm transient"),
     ]
 
 

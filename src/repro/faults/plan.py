@@ -28,9 +28,12 @@ site                    effect at the site
 ``board.crash``          a fleet board's worker dies outright (docs/FLEET.md)
 ``board.hang``           a fleet board freezes: alive but makes no progress
 ``board.partition``      a fleet board is isolated from the dispatcher
+``traffic.surge``        offered load multiplies for a window (flash crowd)
+``retry.storm``          a board answers nothing while staying nominally up
 ======================  =====================================================
 
-The three ``board.*`` sites are fleet-level fault domains: they are
+The ``board.*`` sites and the two overload sites are fleet-level fault
+domains: they are
 consulted by the dispatcher's :class:`~repro.fleet.rpc.BoardLink`
 (not by on-board device code) and take a whole
 :class:`~repro.fleet.board.BoardServer` with them — see docs/FLEET.md §4.
@@ -54,9 +57,11 @@ from .registry import (  # noqa: F401  (canonical spellings, re-exported)
     PLIRQ_STORM,
     PRR_HANG,
     PRR_SPURIOUS_DONE,
+    RETRY_STORM,
     SERVICE_CRASH,
     SERVICE_HANG,
     SITE_EFFECTS,
+    TRAFFIC_SURGE,
     VM_KILL,
     validate_spec_params,
 )

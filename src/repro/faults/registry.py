@@ -42,6 +42,8 @@ VM_KILL = "vm.kill"
 BOARD_CRASH = "board.crash"
 BOARD_HANG = "board.hang"
 BOARD_PARTITION = "board.partition"
+TRAFFIC_SURGE = "traffic.surge"
+RETRY_STORM = "retry.storm"
 
 #: Crashpoints the Hardware Task Manager consults (``service.crash``
 #: specs may target one by name via ``params={"point": ...}``).
@@ -126,6 +128,22 @@ RECOVERY_PATHS: dict[str, RecoveryPath] = {p.name: p for p in (
     RecoveryPath("board_rejoin", "fleet", "fleet.boards.rejoined",
                  "a healed board rejoins the fleet with its state "
                  "intact"),
+    RecoveryPath("admission_shed", "fleet", "fleet.admission.dropped",
+                 "excess load is refused at admission with a recorded "
+                 "reason instead of rotting in queue"),
+    RecoveryPath("rate_degrade", "fleet", "fleet.admission.degraded",
+                 "a backed-up best-effort tenant's admitted rate is "
+                 "progressively halved before any VM is killed"),
+    RecoveryPath("retry_budget", "fleet", "fleet.rpc.retries_denied",
+                 "retries past the fleet-wide budget are denied "
+                 "(metastable-failure guard)"),
+    RecoveryPath("breaker_trip", "fleet", "fleet.breaker.opens",
+                 "a failing board link's circuit breaker opens and "
+                 "sheds calls until its half-open probe succeeds"),
+    RecoveryPath("brownout_reroute", "device",
+                 "recovery.brownout_reroutes",
+                 "under PRR/queue pressure a best-effort hardware task "
+                 "is rerouted to the bit-identical software fallback"),
 )}
 
 
@@ -164,7 +182,7 @@ SITES: dict[str, FaultSite] = {s.name: s for s in (
               ("pcap_retry", "pcap_abort")),
     FaultSite(PRR_HANG, "device",
               "a started hardware task never signals DONE",
-              ("watchdog_reclaim",)),
+              ("watchdog_reclaim", "brownout_reroute")),
     FaultSite(PRR_SPURIOUS_DONE, "device",
               "the PRR raises its PL IRQ with no completed work",
               ("client_rewait",)),
@@ -198,6 +216,13 @@ SITES: dict[str, FaultSite] = {s.name: s for s in (
     FaultSite(BOARD_PARTITION, "fleet",
               "a fleet board is isolated from the dispatcher",
               ("fencing", "migration_adopt"), fleet=True),
+    FaultSite(TRAFFIC_SURGE, "fleet",
+              "offered load multiplies for a window (flash crowd)",
+              ("admission_shed", "rate_degrade"), fleet=True),
+    FaultSite(RETRY_STORM, "fleet",
+              "a board answers nothing while staying nominally up, "
+              "amplifying every call into retries",
+              ("retry_budget", "breaker_trip"), fleet=True),
 )}
 
 #: Every site the injector understands; plans naming others are rejected.

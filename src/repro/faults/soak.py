@@ -51,20 +51,24 @@ EXIT_COVERAGE_FLOOR = 3
 
 
 def classify_incident(violations, runs_ok: bool, reached_target: bool,
-                      *, coverage_ok: bool = True) -> str | None:
+                      *, coverage_ok: bool = True,
+                      slo_ok: bool = True) -> str | None:
     """The payload's ``incident`` field: what kind of failure, if any.
 
     ``"invariant_violation"`` when any invariant sweep reported a
     violation (the flight recorder fired), ``"checks_failed"`` for any
     other failure (a per-run check tripped, or the fault target was not
-    reached), ``"coverage_floor"`` for a clean run that nevertheless
-    missed its recovery-path coverage floor (explorer only), ``None``
-    for a clean soak.
+    reached), ``"slo_breach"`` for a clean run that missed a latency or
+    goodput objective (the surge soak's gates), ``"coverage_floor"``
+    for a clean run that missed its recovery-path coverage floor
+    (explorer only), ``None`` for a clean soak.
     """
     if violations:
         return "invariant_violation"
     if not runs_ok or not reached_target:
         return "checks_failed"
+    if not slo_ok:
+        return "slo_breach"
     if not coverage_ok:
         return "coverage_floor"
     return None
@@ -75,7 +79,7 @@ def incident_exit_code(payload: dict[str, Any]) -> int:
     incident = payload.get("incident")
     if incident == "invariant_violation":
         return EXIT_INVARIANT_VIOLATION
-    if incident == "coverage_floor":
+    if incident in ("coverage_floor", "slo_breach"):
         return EXIT_COVERAGE_FLOOR
     if incident is not None:
         return EXIT_CHECKS_FAILED

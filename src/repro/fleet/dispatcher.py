@@ -37,17 +37,28 @@ from typing import Any
 from ..common.params import DEFAULT_PARAMS
 from ..common.units import ms_to_cycles
 from ..faults.plan import (BOARD_CRASH, BOARD_HANG, BOARD_PARTITION,
-                           UNLIMITED, FaultPlan, FaultSpec)
+                           RETRY_STORM, TRAFFIC_SURGE, UNLIMITED,
+                           FaultPlan, FaultSpec)
 from ..obs.metrics import MetricsRegistry
 from .detector import DEFAULT_DEADLINE_TICKS, FailureDetector
 from .invariants import check_fleet_invariants
+from .overload import (DEFAULT_SURGE_DURATION_TICKS, DEFAULT_SURGE_FACTOR,
+                       AdmissionController, CircuitBreaker, LoadShedder,
+                       OverloadConfig, RetryBudget,
+                       check_overload_invariants)
 from .rpc import BoardLink, BoardUnreachable
 from .tenant import (BESTEFFORT, CRITICAL, DEAD, MIGRATING, RUNNING, SHED,
                      TenantRecord, TenantSpec)
 from .traffic import TrafficModel
 from .workers import HOST_KINDS
 
+#: Sites applied to one board's link (``retry.storm`` included: the
+#: board stays nominally up but its link eats every call).
 BOARD_SITES = (BOARD_CRASH, BOARD_HANG, BOARD_PARTITION)
+LINK_SITES = BOARD_SITES + (RETRY_STORM,)
+#: Everything a KillSpec may name; ``traffic.surge`` is fleet-global
+#: (it multiplies offered load, no link is involved).
+FLEET_FAULT_SITES = LINK_SITES + (TRAFFIC_SURGE,)
 
 
 @dataclass(frozen=True)
@@ -60,9 +71,9 @@ class KillSpec:
     duration_ticks: int = 0     # hang/partition heal time; 0 for crash
 
     def __post_init__(self) -> None:
-        if self.site not in BOARD_SITES:
+        if self.site not in FLEET_FAULT_SITES:
             raise ValueError(f"KillSpec site must be a fleet fault domain "
-                             f"(valid: {', '.join(BOARD_SITES)}), "
+                             f"(valid: {', '.join(FLEET_FAULT_SITES)}), "
                              f"got {self.site!r}")
 
     def as_dict(self) -> dict[str, Any]:
@@ -88,6 +99,43 @@ class FleetConfig:
     rate_per_tick: float = 0.1
     burst_period_ticks: int = 16
     burst_factor: float = 2.0
+    #: The overload control plane (docs/FLEET.md §11); None keeps every
+    #: legacy run byte-identical — no admission, budgets or breakers.
+    overload: OverloadConfig | None = None
+
+    def __post_init__(self) -> None:
+        """Fail fast on configs that can never work (the
+        ``validate_spec_params`` convention: a bad knob is rejected at
+        construction, not discovered as a hung or absurd run)."""
+        def _require(cond: bool, msg: str) -> None:
+            if not cond:
+                raise ValueError(msg)
+        _require(self.boards >= 1, "need at least one board")
+        _require(self.tenants_per_board >= 0,
+                 f"tenants_per_board must be >= 0, got "
+                 f"{self.tenants_per_board}")
+        _require(self.ticks >= 0, f"ticks must be >= 0, got {self.ticks}")
+        _require(self.tick_ms > 0, f"tick_ms must be > 0, got {self.tick_ms}")
+        _require(self.tick_hz >= 1, f"tick_hz must be >= 1, got "
+                 f"{self.tick_hz}")
+        _require(self.deadline_ticks > 0,
+                 f"deadline_ticks must be > 0, got {self.deadline_ticks}")
+        _require(self.checkpoint_every_ticks >= 0,
+                 f"checkpoint_every_ticks must be >= 0, got "
+                 f"{self.checkpoint_every_ticks}")
+        _require(self.max_tenants_per_board >= 1,
+                 f"max_tenants_per_board must be >= 1, got "
+                 f"{self.max_tenants_per_board}")
+        _require(self.workers in HOST_KINDS,
+                 f"unknown workers kind {self.workers!r} "
+                 f"(valid: {', '.join(HOST_KINDS)})")
+        _require(self.rate_per_tick >= 0,
+                 f"rate_per_tick must be >= 0, got {self.rate_per_tick}")
+        _require(self.burst_period_ticks >= 1,
+                 f"burst_period_ticks must be >= 1, got "
+                 f"{self.burst_period_ticks}")
+        _require(self.burst_factor >= 0,
+                 f"burst_factor must be >= 0, got {self.burst_factor}")
 
     def as_dict(self) -> dict[str, Any]:
         return {"boards": self.boards,
@@ -101,7 +149,9 @@ class FleetConfig:
                 "workers": self.workers,
                 "rate_per_tick": self.rate_per_tick,
                 "burst_period_ticks": self.burst_period_ticks,
-                "burst_factor": self.burst_factor}
+                "burst_factor": self.burst_factor,
+                "overload": (None if self.overload is None
+                             else self.overload.as_dict())}
 
 
 def default_tenants(cfg: FleetConfig) -> list[TenantSpec]:
@@ -124,21 +174,32 @@ class Dispatcher:
     def __init__(self, cfg: FleetConfig,
                  tenants: list[TenantSpec] | None = None,
                  kills: tuple[KillSpec, ...] = ()) -> None:
-        if cfg.boards < 1:
-            raise ValueError("need at least one board")
         for ks in kills:
             if not 0 <= ks.board < cfg.boards:
                 raise ValueError(f"kill names unknown board {ks.board}")
-            if ks.site not in BOARD_SITES:
-                raise ValueError(f"not a board fault site: {ks.site!r}")
+            if ks.site not in FLEET_FAULT_SITES:
+                raise ValueError(f"not a fleet fault site: {ks.site!r}")
         self.cfg = cfg
         self.metrics = MetricsRegistry()
         self.tick_cycles = ms_to_cycles(cfg.tick_ms, DEFAULT_PARAMS.cpu.hz)
+        #: The overload plane (docs/FLEET.md §11), armed only when the
+        #: config carries an OverloadConfig.
+        self.overload: OverloadConfig | None = cfg.overload
+        self.retry_budget = (
+            None if cfg.overload is None
+            else RetryBudget(ratio=cfg.overload.retry_ratio,
+                             floor=cfg.overload.retry_floor))
         host_cls = HOST_KINDS[cfg.workers]
         self.links = [
             BoardLink(b, host_cls(b, seed=cfg.seed * 1000 + b,
                                   tasks=cfg.tasks, tick_hz=cfg.tick_hz),
-                      self.metrics)
+                      self.metrics,
+                      breaker=(None if cfg.overload is None else
+                               CircuitBreaker(
+                                   threshold=cfg.overload.breaker_threshold,
+                                   cooldown_ticks=cfg.overload.
+                                   breaker_cooldown_ticks)),
+                      retry_budget=self.retry_budget)
             for b in range(cfg.boards)]
         self.detector = FailureDetector(range(cfg.boards),
                                         deadline_ticks=cfg.deadline_ticks)
@@ -150,10 +211,17 @@ class Dispatcher:
             rate_per_tick=cfg.rate_per_tick,
             burst_period_ticks=cfg.burst_period_ticks,
             burst_factor=cfg.burst_factor)
-        #: Board-fault gating: one spec per site present in the schedule.
+        if cfg.overload is None:
+            self.admission = None
+            self.shedder = None
+        else:
+            self.admission = AdmissionController(
+                cfg.overload, self.metrics, [s.name for s in specs])
+            self.shedder = LoadShedder(cfg.overload, self.metrics)
+        #: Fleet-fault gating: one spec per site present in the schedule.
         self.plan = FaultPlan(
             [FaultSpec(site, max_fires=UNLIMITED)
-             for site in BOARD_SITES
+             for site in FLEET_FAULT_SITES
              if any(k.site == site for k in kills)],
             seed=cfg.seed)
         self.kills = tuple(sorted(kills, key=lambda k: (k.tick, k.board)))
@@ -200,6 +268,10 @@ class Dispatcher:
         for link in self.links:
             if link.tick(t):
                 self.metrics.counter("fleet.boards.rejoined").inc()
+        if self.admission is not None:
+            multipliers = {name: self.shedder.multiplier(rec)
+                           for name, rec in self.tenants.items()}
+            self.admission.begin_tick(t, self.tenants, multipliers)
         self._arrive(t)
         self._inject(t)
         self._step_all(t)
@@ -209,8 +281,14 @@ class Dispatcher:
             self.metrics.counter("fleet.boards.declared_dead").inc()
             self._recover_board(board_id, t)
         self._pull_checkpoints(t)
+        if self.shedder is not None:
+            # Last resort only: a best-effort tenant that stayed fully
+            # degraded with a backlog for kill_after_ticks straight.
+            for name in self.shedder.step(t, self.tenants):
+                self._shed(self.tenants[name], reason="overload")
+                self.metrics.counter("fleet.admission.overload_kills").inc()
         self._update_gauges()
-        vs = check_fleet_invariants(self)
+        vs = check_fleet_invariants(self) + check_overload_invariants(self)
         if vs:
             self.violations.extend(f"t{t}: {v}" for v in vs)
             self.metrics.counter("fleet.invariant_violations").inc(len(vs))
@@ -226,12 +304,37 @@ class Dispatcher:
             if rec.state in (SHED, DEAD):
                 rec.shed_requests += n
                 self.metrics.counter("fleet.requests.shed").inc(n)
-            else:
+            elif self.admission is None:
+                rec.admitted += n
                 rec.queue.extend([t] * n)
+            else:
+                for _ in range(n):
+                    reason = self.admission.admit(rec, t)
+                    if reason is None:
+                        rec.admitted += 1
+                        rec.queue.append(t)
+                    else:
+                        rec.dropped[reason] = \
+                            rec.dropped.get(reason, 0) + 1
 
     def _inject(self, t: int) -> None:
         for ks in self.kills:
             if ks.tick != t:
+                continue
+            if ks.site == TRAFFIC_SURGE:
+                # Fleet-global: offered load multiplies for a window —
+                # no link is involved, the admission plane has to cope.
+                if self.plan.should_fire(ks.site) is None:
+                    continue
+                ov = self.overload
+                dur = ks.duration_ticks or (
+                    ov.surge_duration_ticks if ov is not None
+                    else DEFAULT_SURGE_DURATION_TICKS)
+                factor = (ov.surge_factor if ov is not None
+                          else DEFAULT_SURGE_FACTOR)
+                self.traffic.schedule_surge(t, dur, factor)
+                self.metrics.counter("fleet.traffic.surges").inc()
+                self.kills_fired.append({"tick": t, **ks.as_dict()})
                 continue
             link = self.links[ks.board]
             if link.fenced or link.crashed:
@@ -265,6 +368,9 @@ class Dispatcher:
         serves nothing twice (F4)."""
         hist = self.metrics.histogram("fleet.request_latency_cycles")
         served_c = self.metrics.counter("fleet.requests.served")
+        goodput_c = self.metrics.counter("fleet.goodput")
+        deadline = (None if self.overload is None
+                    else self.overload.deadline_ticks)
         for name, rec in sorted(self.tenants.items()):
             if rec.state != RUNNING or rec.board != board_id:
                 continue
@@ -274,10 +380,14 @@ class Dispatcher:
             delta = frame - rec.progress
             rec.progress = frame
             for _ in range(min(delta, len(rec.queue))):
-                arrived_t = rec.queue.pop(0)
-                lat = (t - arrived_t + 1) * self.tick_cycles
+                arrived_t = rec.queue.popleft()
+                lat_ticks = t - arrived_t + 1
+                lat = lat_ticks * self.tick_cycles
                 rec.served += 1
                 served_c.inc()
+                if deadline is None or lat_ticks <= deadline:
+                    rec.goodput += 1
+                    goodput_c.inc()
                 hist.observe(lat)
                 self.latency["all"].append(lat)
                 self.latency[rec.spec.tclass].append(lat)
@@ -388,6 +498,7 @@ class Dispatcher:
         rec.board, rec.vm_id = None, None
         dropped = len(rec.queue)
         rec.shed_requests += dropped
+        rec.queue_shed += dropped
         rec.queue.clear()
         self.metrics.counter("fleet.tenants.shed").inc()
         if dropped:
@@ -403,6 +514,7 @@ class Dispatcher:
         rec.board, rec.vm_id = None, None
         dropped = len(rec.queue)
         rec.shed_requests += dropped
+        rec.queue_shed += dropped
         rec.queue.clear()
         self.metrics.counter("fleet.tenants.dead").inc()
         if dropped:

@@ -25,13 +25,15 @@ from typing import Any
 
 from ..common.rng import make_rng
 from ..eval.bench import SCHEMA_VERSION
-from ..faults.plan import BOARD_CRASH, BOARD_HANG, BOARD_PARTITION
+from ..faults.plan import (BOARD_CRASH, BOARD_HANG, BOARD_PARTITION,
+                           RETRY_STORM, TRAFFIC_SURGE)
 from ..faults.soak import classify_incident
 from ..obs.aggregate import MetricSnapshot
 from ..obs.analytics import SeriesSummary
 from ..obs.flight import write_bundle
 from .dispatcher import Dispatcher, FleetConfig, KillSpec
-from .tenant import CRITICAL, DEAD, RUNNING, SHED, TenantSpec
+from .overload import OverloadConfig
+from .tenant import BESTEFFORT, CRITICAL, DEAD, RUNNING, SHED, TenantSpec
 
 _SITE_BY_MODE = {"crash": BOARD_CRASH, "hang": BOARD_HANG,
                  "partition": BOARD_PARTITION}
@@ -104,6 +106,8 @@ def run_fleet(cfg: FleetConfig, *, kills: tuple[KillSpec, ...] = (),
                               seed=cfg.seed)
             stream.emit_aggregate(merged, shards=shards + 1,
                                   harness="fleet", seed=cfg.seed)
+            if disp.overload is not None:
+                _emit_overload_records(stream, disp)
         if flight_path and disp.flight_bundle is not None:
             write_bundle(disp.flight_bundle, flight_path)
         if _capture is not None:
@@ -158,7 +162,22 @@ def _payload(disp: Dispatcher, cfg: FleetConfig,
             "rpc_failures": m.total("fleet.rpc.failures"),
             "rpc_retries": m.total("fleet.rpc.retries"),
             "rpc_backoff_cycles": m.total("fleet.rpc.backoff_cycles"),
+            "goodput": m.total("fleet.goodput"),
+            "admission_admitted": m.total("fleet.admission.admitted"),
+            "admission_dropped": m.total("fleet.admission.dropped"),
+            "admission_degraded": m.total("fleet.admission.degraded"),
+            "admission_restored": m.total("fleet.admission.restored"),
+            "overload_kills": m.total("fleet.admission.overload_kills"),
+            "rpc_retries_denied": m.total("fleet.rpc.retries_denied"),
+            "breaker_opens": m.total("fleet.breaker.opens"),
+            "breaker_half_opens": m.total("fleet.breaker.half_opens"),
+            "breaker_closes": m.total("fleet.breaker.closes"),
+            "breaker_short_circuits":
+                m.total("fleet.breaker.short_circuits"),
+            "boards_stormed": m.total("fleet.boards.stormed"),
+            "traffic_surges": m.total("fleet.traffic.surges"),
         },
+        "overload": _overload_block(disp),
         "violations": list(disp.violations),
         "board_violations": board_violations,
         "tenants_accounted": accounted,
@@ -167,7 +186,68 @@ def _payload(disp: Dispatcher, cfg: FleetConfig,
     }
 
 
+def _overload_block(disp: Dispatcher) -> dict[str, Any]:
+    """The payload's overload-plane view: degrade/restore events, every
+    breaker transition, and drops by reason (all empty when idle)."""
+    drops: dict[str, int] = {}
+    for rec in disp.tenants.values():
+        for reason, n in rec.dropped.items():
+            drops[reason] = drops.get(reason, 0) + n
+    transitions = []
+    for link in disp.links:
+        br = getattr(link, "breaker", None)
+        if br is None:
+            continue
+        transitions.extend(
+            {"board": link.board_id, "tick": tick, "from": frm, "to": to}
+            for tick, frm, to in br.transitions)
+    return {
+        "enabled": disp.overload is not None,
+        "events": list(disp.shedder.events) if disp.shedder else [],
+        "breaker_transitions": transitions,
+        "drops_by_reason": {k: drops[k] for k in sorted(drops)},
+    }
+
+
+def _emit_overload_records(stream, disp: Dispatcher) -> None:
+    """Mirror the overload block onto the record bus: one
+    ``overload_transition`` per shedder event / breaker transition and
+    one end-of-run ``overload_summary`` (docs/OBSERVABILITY.md §10)."""
+    ov = _overload_block(disp)
+    for ev in ov["events"]:
+        stream.emit_overload_transition(ev["kind"], tick=ev["tick"],
+                                        tenant=ev["tenant"],
+                                        level=ev["level"])
+    for tr in ov["breaker_transitions"]:
+        stream.emit_overload_transition("breaker", tick=tr["tick"],
+                                        board=tr["board"],
+                                        frm=tr["from"], to=tr["to"])
+    m = disp.metrics
+    stream.emit_overload_summary(
+        admitted=m.total("fleet.admission.admitted"),
+        dropped=m.total("fleet.admission.dropped"),
+        goodput=m.total("fleet.goodput"),
+        drops_by_reason=ov["drops_by_reason"],
+        breaker_opens=m.total("fleet.breaker.opens"),
+        retries_denied=m.total("fleet.rpc.retries_denied"))
+
+
 # -- programmatic single-schedule entry (the explorer's fleet executor) -------
+
+#: The overload plane the explorer arms on every fleet schedule, tuned
+#: so its recovery paths are *reachable* at explorer scale (24 ticks,
+#: detector deadline 3) without changing fault outcomes: the breaker
+#: reopens fast enough (cooldown 1) that a healed 2-tick hang still
+#: passes its half-open probe before the detector's deadline, and the
+#: tight retry budget (floor 1, ratio 0) makes a ``retry.storm`` deny a
+#: retry on its very first stormed call.
+EXPLORE_OVERLOAD = OverloadConfig(
+    admit_rate=1.0, admit_burst=4.0, queue_bound=6, deadline_ticks=4,
+    degrade_high_water=3, degrade_low_water=1, degrade_hysteresis_ticks=1,
+    degrade_levels=3, kill_after_ticks=0,
+    retry_ratio=0.0, retry_floor=1,
+    breaker_threshold=2, breaker_cooldown_ticks=1,
+    surge_factor=40.0, surge_duration_ticks=6)
 
 
 def run_fleet_schedule(kills: tuple[KillSpec, ...], *, seed: int,
@@ -175,16 +255,19 @@ def run_fleet_schedule(kills: tuple[KillSpec, ...], *, seed: int,
                        tenants_per_board: int = 2,
                        workers: str = "inline",
                        flight_path: str | None = None) -> dict[str, Any]:
-    """Execute exactly one board-fault schedule against a small fleet
+    """Execute exactly one fleet-fault schedule against a small fleet
     and return the JSON-stable :func:`run_fleet` payload.
 
     This is the :mod:`repro.faults.explore` entry point: the explorer
     hands it a candidate ``kills`` tuple and fingerprints the payload's
     ``fleet`` totals for recovery-path coverage.  Same ``(kills, seed)``
-    always yields a byte-identical payload.
+    always yields a byte-identical payload.  The overload plane is
+    armed (:data:`EXPLORE_OVERLOAD`) so ``traffic.surge`` and
+    ``retry.storm`` have recovery paths to hit.
     """
     cfg = FleetConfig(boards=boards, seed=seed, ticks=ticks,
-                      tenants_per_board=tenants_per_board, workers=workers)
+                      tenants_per_board=tenants_per_board, workers=workers,
+                      overload=EXPLORE_OVERLOAD)
     return run_fleet(cfg, kills=tuple(sorted(
         kills, key=lambda k: (k.tick, k.board, k.site))),
         flight_path=flight_path)
@@ -367,6 +450,10 @@ def run_fleet_bench(*, seed: int = 1,
             "count": 1, "kind": "value", "unit": "requests",
             "direction": "higher",
             "value": payload["requests"]["served"]},
+        "fleet_goodput": {
+            "count": 1, "kind": "value", "unit": "requests",
+            "direction": "higher",
+            "value": payload["fleet"]["goodput"]},
         "fleet_migrations": {
             "count": 1, "kind": "value", "unit": "migrations",
             "direction": "none",
@@ -390,4 +477,350 @@ def run_fleet_bench(*, seed: int = 1,
             "violations": len(payload["violations"]),
         },
         "series": series,
+    }
+
+
+# -- surge soak (overload control plane acceptance) ---------------------------
+
+#: The overload plane the surge soak arms.  A tenant serves about one
+#: frame per 9 fleet ticks at ``tick_ms=2.0``, so ``admit_rate=0.1``
+#: matches the *offered* (and sustainable) rate — a surge saturates
+#: the bucket rather than the queue, which keeps per-tenant admissions
+#: and queue depths the same loaded or unloaded.  ``deadline_ticks``
+#: sits *below* the frame period on purpose: served latency then
+#: saturates the deadline cap in the unloaded baseline too, so the
+#: "critical p99 within 10% of baseline" gate measures protection, not
+#: the luck of queue alignment.  The tight retry budget (2% + floor 2)
+#: makes the 2-tick ``retry.storm`` hit a budget denial rather than
+#: amplify into the fleet.
+SOAK_OVERLOAD = OverloadConfig(
+    admit_rate=0.1, admit_burst=2.0, queue_bound=6, deadline_ticks=6,
+    degrade_high_water=2, degrade_low_water=1, degrade_hysteresis_ticks=2,
+    degrade_levels=3, kill_after_ticks=0,
+    retry_ratio=0.02, retry_floor=2,
+    breaker_threshold=2, breaker_cooldown_ticks=1,
+    surge_factor=8.0, surge_duration_ticks=12)
+
+#: Escalating offered-load multipliers: one loaded run each, so the
+#: payload carries a *series* of best-effort goodput fractions that must
+#: degrade progressively while critical p99 stays within slack.
+SURGE_FACTORS = (4.0, 8.0, 16.0)
+
+
+def _class_totals(payload: dict[str, Any]) -> dict[str, dict[str, int]]:
+    """Per-criticality-class request accounting from a run payload."""
+    out = {cls: {"arrived": 0, "admitted": 0, "served": 0,
+                 "goodput": 0, "dropped": 0}
+           for cls in (CRITICAL, BESTEFFORT)}
+    for td in payload["tenants"].values():
+        agg = out[td["class"]]
+        agg["arrived"] += td["arrived"]
+        agg["admitted"] += td["admitted"]
+        agg["served"] += td["served"]
+        agg["goodput"] += td["goodput"]
+        agg["dropped"] += sum(td["dropped"].values())
+    return out
+
+
+def _tagged_violations(tag: str, payload: dict[str, Any]) -> list[str]:
+    vs = list(payload["violations"])
+    vs += [f"board {b}: {v}"
+           for b, bvs in sorted(payload["board_violations"].items())
+           for v in bvs]
+    return [f"{tag}: {v}" for v in vs]
+
+
+def run_surge_soak(*, seed: int = 1, boards: int = 3, ticks: int = 96,
+                   tenants_per_board: int = 2,
+                   surge_factors: tuple[float, ...] = SURGE_FACTORS,
+                   workers: str = "inline",
+                   p99_slack: float = 1.10, goodput_floor: float = 0.55,
+                   stream=None,
+                   flight_path: str | None = None) -> dict[str, Any]:
+    """Overload chaos soak: seeded surges + a retry storm + a board kill.
+
+    Three phases (docs/RECOVERY.md §11):
+
+    * **Baseline** — the same fleet, overload plane armed, no faults:
+      yields the unloaded critical p99 and best-effort goodput fraction.
+    * **Loaded** — one run per factor in ``surge_factors``, each with a
+      ``traffic.surge`` window, a transient ``retry.storm`` on board 1
+      and a ``board.crash`` on board 2.  Gates: zero F1-F6/O1-O5
+      violations, critical p99 within ``p99_slack`` of baseline,
+      critical goodput/admitted at least ``goodput_floor`` times the
+      *baseline* ratio (criticals keep their goodput under overload;
+      the shared :func:`~repro.obs.slo.evaluate_rate_floor`
+      predicate), and the
+      best-effort goodput fraction non-increasing as factors escalate.
+    * **Brownout** — :func:`run_brownout_demo`: best-effort hardware
+      tasks reroute to the bit-identical software path under fabric
+      pressure and return to hardware when it clears (O5).
+
+    Deterministic: every run is a pure function of ``seed``, so the
+    payload is byte-identical across reruns (CI runs it twice and
+    ``cmp``\\ s).  Latency/goodput breaches classify as ``slo_breach``
+    (exit 3); structural check failures as ``checks_failed`` (exit 1);
+    any invariant violation as ``invariant_violation`` (exit 4).
+    """
+    from ..obs.slo import evaluate_rate_floor
+
+    flight_written = False
+
+    def one_run(overload: OverloadConfig,
+                kills: tuple[KillSpec, ...]) -> dict[str, Any]:
+        nonlocal flight_written
+        cfg = FleetConfig(boards=boards,
+                          tenants_per_board=tenants_per_board,
+                          seed=seed, ticks=ticks, workers=workers,
+                          overload=overload)
+        payload = run_fleet(
+            cfg, kills=kills, stream=stream,
+            flight_path=(None if flight_written else flight_path))
+        if payload["flight_dumped"] and flight_path:
+            flight_written = True
+        return payload
+
+    def be_fraction(cls: dict[str, dict[str, int]]) -> float | None:
+        be = cls[BESTEFFORT]
+        return (round(be["goodput"] / be["arrived"], 6)
+                if be["arrived"] else None)
+
+    # Phase A: unloaded baseline (same seed, same plane, no faults).
+    base = one_run(SOAK_OVERLOAD, ())
+    base_cls = _class_totals(base)
+    base_p99 = base["requests"]["latency"][CRITICAL].get("p99")
+    base_be_frac = be_fraction(base_cls)
+    base_crit = base_cls[CRITICAL]
+    base_crit_ratio = (round(base_crit["goodput"] / base_crit["admitted"],
+                             6) if base_crit["admitted"] else None)
+    # The floor the loaded runs must hold: a fraction of the baseline's
+    # own goodput ratio, not an absolute — the absolute ratio is pinned
+    # by deadline-vs-frame-period geometry, identical in every run.
+    crit_floor = (round(goodput_floor * base_crit_ratio, 6)
+                  if base_crit_ratio is not None else goodput_floor)
+    all_violations = _tagged_violations("baseline", base)
+
+    # Phase B: escalating surges, each with a storm and a board kill.
+    kills = (
+        KillSpec(tick=16, board=0, site=TRAFFIC_SURGE, duration_ticks=12),
+        KillSpec(tick=34, board=1, site=RETRY_STORM, duration_ticks=2),
+        KillSpec(tick=44, board=2, site=BOARD_CRASH),
+    )
+    runs: list[dict[str, Any]] = []
+    be_fracs: list[float] = []
+    worst_p99: float | None = None
+    worst_crit_ratio: float | None = None
+    for factor in surge_factors:
+        payload = one_run(SOAK_OVERLOAD.scaled_surge(factor), kills)
+        cls = _class_totals(payload)
+        p99 = payload["requests"]["latency"][CRITICAL].get("p99")
+        crit_ratio, _ = evaluate_rate_floor(
+            cls[CRITICAL]["goodput"], cls[CRITICAL]["admitted"],
+            min_ratio=crit_floor, min_denominator=8)
+        frac = be_fraction(cls)
+        tag = f"surge x{factor:g}"
+        all_violations.extend(_tagged_violations(tag, payload))
+        if p99 is not None and (worst_p99 is None or p99 > worst_p99):
+            worst_p99 = p99
+        if crit_ratio is not None and (worst_crit_ratio is None
+                                       or crit_ratio < worst_crit_ratio):
+            worst_crit_ratio = round(crit_ratio, 6)
+        if frac is not None:
+            be_fracs.append(frac)
+        fired_sites = [k["site"] for k in payload["kills_fired"]]
+        runs.append({
+            "surge_factor": factor,
+            "kills_fired": fired_sites,
+            "critical": cls[CRITICAL],
+            "besteffort": cls[BESTEFFORT],
+            "critical_p99": p99,
+            "critical_goodput_ratio": (None if crit_ratio is None
+                                       else round(crit_ratio, 6)),
+            "besteffort_goodput_fraction": frac,
+            "admission_dropped": payload["fleet"]["admission_dropped"],
+            "degrades": payload["fleet"]["admission_degraded"],
+            "breaker_opens": payload["fleet"]["breaker_opens"],
+            "breaker_short_circuits":
+                payload["fleet"]["breaker_short_circuits"],
+            "retries_denied": payload["fleet"]["rpc_retries_denied"],
+            "boards_stormed": payload["fleet"]["boards_stormed"],
+            "traffic_surges": payload["fleet"]["traffic_surges"],
+            "migrations": payload["fleet"]["migrations"],
+            "violations": len(_tagged_violations("", payload)),
+            "ok": payload["ok"],
+        })
+
+    # Phase C: brownout — pressure reroutes best-effort hardware tasks
+    # to the bit-identical software fallback, then back.
+    demo = run_brownout_demo(seed=seed)
+
+    # Gates.  All faults must actually fire, the plane must visibly
+    # engage, best-effort goodput must fall monotonically with offered
+    # load, and every run must hold its invariants.
+    eps = 1e-9
+    progressive = (
+        bool(be_fracs) and base_be_frac is not None
+        and all(b <= a + eps for a, b in zip(be_fracs, be_fracs[1:]))
+        and be_fracs[-1] < base_be_frac)
+    checks = {
+        "runs_ok": bool(runs) and all(r["ok"] for r in runs)
+        and base["ok"],
+        "surge_fired": all(TRAFFIC_SURGE in r["kills_fired"]
+                           for r in runs),
+        "storm_fired": all(RETRY_STORM in r["kills_fired"] for r in runs),
+        "board_killed": all(BOARD_CRASH in r["kills_fired"]
+                            for r in runs),
+        "admission_engaged": all(r["admission_dropped"] > 0
+                                 for r in runs),
+        "shedder_engaged": any(r["degrades"] >= 1 for r in runs),
+        "breaker_engaged": all(r["breaker_opens"] >= 1 for r in runs),
+        "retry_budget_engaged": all(r["retries_denied"] >= 1
+                                    for r in runs),
+        "besteffort_degrades": progressive,
+        "brownout_demo_ok": demo["ok"],
+    }
+    slo = {
+        "critical_p99": {
+            "baseline": base_p99, "worst": worst_p99,
+            "slack": p99_slack,
+            "ok": (base_p99 is not None and worst_p99 is not None
+                   and worst_p99 <= p99_slack * base_p99),
+        },
+        "critical_goodput_floor": {
+            "baseline_ratio": base_crit_ratio,
+            "relative_floor": goodput_floor,
+            "min_ratio": crit_floor, "worst": worst_crit_ratio,
+            "ok": (worst_crit_ratio is not None
+                   and worst_crit_ratio >= crit_floor),
+        },
+    }
+    checks_ok = all(checks.values())
+    slo_ok = all(gate["ok"] for gate in slo.values())
+    incident = classify_incident(all_violations, checks_ok, True,
+                                 slo_ok=slo_ok)
+    return {
+        "schema_version": FLEET_SCHEMA_VERSION,
+        "seed": seed,
+        "boards": boards,
+        "ticks": ticks,
+        "workers": workers,
+        "overload": SOAK_OVERLOAD.as_dict(),
+        "surge_factors": list(surge_factors),
+        "baseline": {
+            "critical": base_cls[CRITICAL],
+            "besteffort": base_cls[BESTEFFORT],
+            "critical_p99": base_p99,
+            "besteffort_goodput_fraction": base_be_frac,
+            "ok": base["ok"],
+        },
+        "runs": runs,
+        "brownout": demo,
+        "checks": checks,
+        "slo": slo,
+        "violations": all_violations,
+        "incident": incident,
+        "ok": incident is None,
+    }
+
+
+# -- brownout proof -----------------------------------------------------------
+
+
+def run_brownout_demo(*, seed: int = 9) -> dict[str, Any]:
+    """Fabric-pressure brownout: best-effort work degrades to the
+    bit-identical software path, then returns to hardware (O5).
+
+    One virtualized machine, two guests.  vm1 runs two driver tasks
+    that each allocate a PRR (FFT and QAM) and hold it — the
+    allocated-PRR fraction crosses the brownout threshold at the
+    second allocation.  vm2 iterates a *best-effort* QAM through the
+    adaptive API: while brownout is active the task is rerouted to
+    software before touching the fabric; once the drivers release
+    their regions the controller observes the pressure drop, exits,
+    and the same call runs on a PRR again.  Every iteration's output
+    is compared against the golden model — identical bytes on both
+    substrates is the O5 proof.
+    """
+    from ..dsp import qam as qam_golden
+    from ..eval.scenarios import build_virtualized
+    from ..guest import api
+    from ..guest.actions import Delay, Finish, HwRelease
+    from ..hwmgr.brownout import BrownoutConfig, BrownoutController
+    import numpy as np
+
+    sc = build_virtualized(2, seed=seed, with_workloads=False,
+                           iterations=0, task_set=("fft256", "qam16"))
+    ctl = BrownoutController(BrownoutConfig(
+        enter_occupancy=0.5, enter_queue_depth=8,
+        exit_occupancy=0.25, exit_queue_depth=0))
+    sc.kernel.brownout = ctl
+    directory = sc.directory
+    results: dict[str, Any] = {"iters": []}
+
+    def make_driver(task: str, prio: int):
+        def fn(os_):
+            rng = make_rng(seed, stream=f"brownout-driver-{task}")
+            if task.startswith("fft"):
+                x = rng.standard_normal(256) + 1j * rng.standard_normal(256)
+                data = x.astype(np.complex64).tobytes()
+            else:
+                data = rng.integers(0, 256, size=512,
+                                    dtype=np.uint8).tobytes()
+            # Phase 1: allocate and hold a PRR — the second driver's
+            # allocation pushes occupancy over the enter threshold.
+            yield from api.hw_task_run(os_, directory[task], task, data)
+            # Hold window: the best-effort client gets rerouted.
+            yield Delay(20)
+            # Phase 2: give the region back; the release request's
+            # pressure observation drops occupancy below the exit
+            # threshold and brownout ends.
+            yield HwRelease(task_id=directory[task])
+            yield Finish()
+        return fn
+
+    def besteffort_fn(os_):
+        rng = make_rng(seed, stream="brownout-besteffort")
+        qam_in = rng.integers(0, 256, size=512, dtype=np.uint8).tobytes()
+        want = qam_golden.modulate(
+            qam_golden.pack_bits_to_symbols(qam_in, 16), 16).tobytes()
+        yield Delay(2)              # let the drivers pile up first
+        for i in range(3):
+            h = yield from api.qam_compute(os_, directory["qam16"],
+                                          "qam16", qam_in,
+                                          besteffort=True)
+            results["iters"].append({
+                "i": i,
+                "software": h.prr_id is None,
+                "status": int(h.status),
+                "correct": h.output == want,
+            })
+            yield Delay(15)
+        yield Finish()
+
+    drv_os = sc.guests[0].os
+    drv_os.create_task("drv-fft", 20, make_driver("fft256", 20))
+    drv_os.create_task("drv-qam", 21, make_driver("qam16", 21))
+    sc.guests[1].os.create_task("besteffort", 20, besteffort_fn)
+    sc.run_ms(600.0)
+
+    iters = results["iters"]
+    m = sc.kernel.metrics
+    checks = {
+        "entered": ctl.entries >= 1,
+        "exited": ctl.exits >= 1,
+        "rerouted": ctl.reroutes >= 1,
+        "first_iter_software": bool(iters) and iters[0]["software"],
+        "returned_to_hardware": bool(iters) and not iters[-1]["software"],
+        "bit_identical": bool(iters) and all(it["correct"]
+                                             for it in iters),
+    }
+    return {
+        "seed": seed,
+        "entries": ctl.entries,
+        "exits": ctl.exits,
+        "reroutes": ctl.reroutes,
+        "reroutes_counted": m.total("recovery.brownout_reroutes"),
+        "iters": iters,
+        "checks": checks,
+        "ok": all(checks.values()),
     }

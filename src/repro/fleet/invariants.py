@@ -17,7 +17,9 @@ F3  **No orphaned PRR grants.**  On every reachable board, each PRR
     (or to the board's manager service).  A migrated or shed tenant's
     grants must have been reclaimed by its kill.
 F4  **Request conservation.**  Per tenant: arrived == served + shed +
-    queued, exactly, at every tick.
+    dropped + queued, exactly, at every tick (dropped is zero unless
+    the overload plane is admitting — see O1-O5 in
+    :mod:`repro.fleet.overload`).
 F5  **Monotonic placement epochs.**  The epoch sequence of every tenant
     is strictly increasing — a stale (pre-migration) placement can never
     be re-admitted as current.
@@ -91,6 +93,7 @@ def check_fleet_invariants(disp) -> list[str]:
             out.append(
                 f"F4: tenant {name} leaks requests: arrived {rec.arrived} "
                 f"!= served {rec.served} + shed {rec.shed_requests} "
+                f"+ dropped {sum(rec.dropped.values())} "
                 f"+ queued {len(rec.queue)}")
 
     # F5: strictly monotonic placement epochs.

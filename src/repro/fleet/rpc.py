@@ -35,7 +35,8 @@ from __future__ import annotations
 
 from typing import Any
 
-from ..faults.plan import BOARD_CRASH, BOARD_HANG, BOARD_PARTITION
+from ..faults.plan import (BOARD_CRASH, BOARD_HANG, BOARD_PARTITION,
+                           RETRY_STORM)
 from .workers import HostDead
 
 #: Attempts per logical RPC before the failure escapes to the detector.
@@ -60,7 +61,8 @@ class BoardUnreachable(Exception):
 class BoardLink:
     """Fault-aware RPC endpoint for one board."""
 
-    def __init__(self, board_id: int, host, metrics) -> None:
+    def __init__(self, board_id: int, host, metrics, *,
+                 breaker=None, retry_budget=None) -> None:
         self.board_id = board_id
         self.host = host
         self.m = metrics
@@ -69,8 +71,18 @@ class BoardLink:
         #: Tick the current hang/partition heals at (exclusive), or None.
         self.hung_until: int | None = None
         self.partitioned_until: int | None = None
+        #: ``retry.storm``: the board answers nothing until this tick,
+        #: but unlike a hang it never "rejoins" — it never left, it was
+        #: merely slow, which is exactly what trips retry amplification.
+        self.storming_until: int | None = None
         #: The dispatcher's clock, advanced once per tick.
         self.now_tick = 0
+        #: Optional overload plane (docs/FLEET.md §11): a per-link
+        #: :class:`~repro.fleet.overload.CircuitBreaker` and a
+        #: fleet-wide shared :class:`~repro.fleet.overload.RetryBudget`.
+        #: Both None by default, leaving legacy behaviour byte-identical.
+        self.breaker = breaker
+        self.retry_budget = retry_budget
 
     # -- fault state -------------------------------------------------------
 
@@ -86,6 +98,9 @@ class BoardLink:
         elif site == BOARD_PARTITION:
             self.partitioned_until = self.now_tick + max(1, duration_ticks)
             self.m.counter("fleet.boards.partitioned").inc()
+        elif site == RETRY_STORM:
+            self.storming_until = self.now_tick + max(1, duration_ticks)
+            self.m.counter("fleet.boards.stormed").inc()
         else:
             raise ValueError(f"not a board fault site: {site!r}")
 
@@ -97,6 +112,12 @@ class BoardLink:
         """Advance the link clock; returns True when a hang/partition
         healed on this tick (the board rejoins, unless already fenced)."""
         self.now_tick = t
+        if self.breaker is not None \
+                and self.breaker.on_tick(t) == "half_open":
+            self.m.counter("fleet.breaker.half_opens").inc()
+        if self.storming_until is not None and t >= self.storming_until:
+            # A healed storm is not a rejoin: the board never left.
+            self.storming_until = None
         healed = False
         if self.hung_until is not None and t >= self.hung_until:
             self.hung_until = None
@@ -111,7 +132,10 @@ class BoardLink:
     def reachable(self) -> bool:
         return not (self.fenced or self.crashed
                     or self.hung_until is not None
-                    or self.partitioned_until is not None)
+                    or self.partitioned_until is not None
+                    or self.storming_until is not None
+                    or (self.breaker is not None
+                        and not self.breaker.allow()))
 
     def _unreachable_reason(self) -> str | None:
         if self.fenced:
@@ -122,6 +146,8 @@ class BoardLink:
             return "hang"
         if self.partitioned_until is not None:
             return "partition"
+        if self.storming_until is not None:
+            return "storm"
         return None
 
     # -- calls -------------------------------------------------------------
@@ -134,29 +160,61 @@ class BoardLink:
             # host — the caller has a dispatcher bug.
             self.m.counter("fleet.fencing_violations").inc()
             raise BoardUnreachable(self.board_id, "fenced")
+        if self.breaker is not None and not self.breaker.allow():
+            # Open breaker: fail fast without touching the host or the
+            # retry machinery — the whole point is shedding this load.
+            self.m.counter("fleet.breaker.short_circuits").inc()
+            raise BoardUnreachable(self.board_id, "breaker_open")
+        if self.retry_budget is not None:
+            self.retry_budget.note_fresh()
         last_reason = "unknown"
-        for attempt in range(retries):
+        attempt = 0
+        while attempt < retries:
             self.m.counter("fleet.rpc.calls").inc()
             reason = self._unreachable_reason()
             if reason is None:
                 try:
-                    return self.host.call(op, *args)
+                    result = self.host.call(op, *args)
                 except HostDead:
                     # The backend died without a fault being injected
                     # first (possible under process hosting): treat it
                     # as a crash from now on.
                     self.crashed = True
                     reason = "crash"
+                else:
+                    self._breaker_success()
+                    return result
             self.m.counter("fleet.rpc.failures").inc()
             last_reason = reason
-            if reason in ("hang", "partition"):
+            if reason in ("hang", "partition", "storm"):
                 self.m.counter("fleet.rpc.backoff_cycles").inc(
                     DEADLINE_CYCLES)
-            if attempt + 1 < retries:
-                self.m.counter("fleet.rpc.retries").inc()
-                self.m.counter("fleet.rpc.backoff_cycles").inc(
-                    BACKOFF_BASE_CYCLES << attempt)
+            attempt += 1
+            if attempt >= retries:
+                break
+            if self.retry_budget is not None \
+                    and not self.retry_budget.try_retry():
+                # Budget exhausted: retries may not exceed their fixed
+                # fraction of fresh traffic (metastable-failure guard).
+                self.m.counter("fleet.rpc.retries_denied").inc()
+                break
+            self.m.counter("fleet.rpc.retries").inc()
+            self.m.counter("fleet.rpc.backoff_cycles").inc(
+                BACKOFF_BASE_CYCLES << (attempt - 1))
+        self._breaker_failure()
         raise BoardUnreachable(self.board_id, last_reason)
+
+    def _breaker_success(self) -> None:
+        if self.breaker is None:
+            return
+        if self.breaker.on_success(self.now_tick) == "closed":
+            self.m.counter("fleet.breaker.closes").inc()
+
+    def _breaker_failure(self) -> None:
+        if self.breaker is None:
+            return
+        if self.breaker.on_failure(self.now_tick) == "opened":
+            self.m.counter("fleet.breaker.opens").inc()
 
     def close(self) -> None:
         self.host.close()

@@ -24,6 +24,7 @@ the byte across same-seed runs.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -120,17 +121,30 @@ class TenantRecord:
     #: Progress recorded at the last checkpoint pull — what a migration
     #: can resume from without replaying more than the checkpoint gap.
     checkpointed: int = 0
-    #: Open-loop request queue: arrival ticks, FIFO (F4).
-    queue: list[int] = field(default_factory=list)
+    #: Open-loop request queue: arrival ticks, FIFO (F4).  A deque —
+    #: the serve loop pops from the head every tick and ``pop(0)`` on a
+    #: list is O(n) in queue depth.
+    queue: deque[int] = field(default_factory=deque)
     arrived: int = 0
     served: int = 0
     shed_requests: int = 0
+    #: Overload-plane accounting (all zero when the plane is idle):
+    #: requests past admission, drops by reason (rate_limited /
+    #: queue_full / deadline_exceeded), the subset of ``shed_requests``
+    #: flushed from the queue on a kill, and requests served within the
+    #: overload deadline (== served when no deadline is configured).
+    admitted: int = 0
+    dropped: dict[str, int] = field(default_factory=dict)
+    queue_shed: int = 0
+    goodput: int = 0
     migrations: int = 0
     restarts: int = 0
 
     def accounted(self) -> int:
-        """F4 left-hand side: every request is queued, served, or shed."""
-        return self.served + self.shed_requests + len(self.queue)
+        """F4 left-hand side: every request is queued, served, shed,
+        or dropped by the admission plane."""
+        return (self.served + self.shed_requests
+                + sum(self.dropped.values()) + len(self.queue))
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -140,6 +154,10 @@ class TenantRecord:
             "epoch": self.epoch, "progress": self.progress,
             "arrived": self.arrived, "served": self.served,
             "shed_requests": self.shed_requests,
+            "admitted": self.admitted,
+            "dropped": {k: self.dropped[k] for k in sorted(self.dropped)},
+            "queue_shed": self.queue_shed,
+            "goodput": self.goodput,
             "queued": len(self.queue),
             "migrations": self.migrations, "restarts": self.restarts,
         }

@@ -79,6 +79,7 @@ def hw_task_run(os: Ucos, task_table_id: int, task_name: str,
     expected_id = task_id_of(task_name)
     want_irq = sem is not None
     handle = HwTaskHandle(status=HcStatus.BUSY)
+    _note_fresh_request(os)
 
     for attempt in range(max_retries):
         res = yield HwRequest(task_id=task_table_id, iface_va=iface_va,
@@ -86,7 +87,14 @@ def hw_task_run(os: Ucos, task_table_id: int, task_name: str,
         status, prr_id, irq_id = res
         if status in (HcStatus.BUSY, HcStatus.MANAGER_RESTARTING):
             # Transient: no PRR/PCAP available, or the manager service is
-            # being restarted (docs/RECOVERY.md) — back off and retry.
+            # being restarted (docs/RECOVERY.md) — back off and retry,
+            # unless the guest retry budget is spent (retries may never
+            # exceed their fixed fraction of fresh traffic; the denied
+            # request surfaces as BUSY and the adaptive APIs degrade to
+            # software instead of storming the manager).
+            if not _take_retry_budget(os):
+                handle.status = HcStatus.BUSY
+                return handle
             handle.retries += 1
             yield Delay(1)
             continue
@@ -245,9 +253,49 @@ def _note_sw_fallback(os: Ucos, kind: str) -> None:
     kernel.tracer.mark("sw_fallback", cat="fault", kind=kind)
 
 
+def _note_fresh_request(os: Ucos) -> None:
+    """Feed the guest retry budget one unit of fresh traffic (no-op
+    without a kernel or without a budget attached)."""
+    kernel = getattr(getattr(os, "port", None), "kernel", None)
+    if kernel is None or kernel.guest_retry_budget is None:
+        return
+    kernel.guest_retry_budget.note_fresh()
+
+
+def _take_retry_budget(os: Ucos) -> bool:
+    """May the BUSY/MANAGER_RESTARTING loop retry?  True without a
+    kernel or budget (legacy unbudgeted behaviour); a denial is counted
+    in ``recovery.retry_denials`` (the ``retry_budget`` guest leg)."""
+    kernel = getattr(getattr(os, "port", None), "kernel", None)
+    if kernel is None or kernel.guest_retry_budget is None:
+        return True
+    if kernel.guest_retry_budget.try_retry():
+        return True
+    kernel.metrics.counter("recovery.retry_denials").inc()
+    kernel.tracer.mark("retry_denied", cat="fault")
+    return False
+
+
+def _brownout_reroute(os: Ucos, kind: str) -> bool:
+    """Should a *best-effort* task skip the fabric right now?
+
+    True iff a :class:`~repro.hwmgr.brownout.BrownoutController` is
+    attached and active: the caller goes straight to the bit-identical
+    software path (O5), counted in ``recovery.brownout_reroutes``."""
+    kernel = getattr(getattr(os, "port", None), "kernel", None)
+    if kernel is None or kernel.brownout is None \
+            or not kernel.brownout.active:
+        return False
+    kernel.brownout.note_reroute()
+    kernel.metrics.counter("recovery.brownout_reroutes").inc()
+    kernel.tracer.mark("brownout_reroute", cat="fault", kind=kind)
+    return True
+
+
 def fft_compute(os: Ucos, task_table_id: int, task_name: str,
                 data_in: bytes, *, sem: Semaphore | None = None,
                 allow_software: bool = True,
+                besteffort: bool = False,
                 hw_retries: int = 2) -> Generator:
     """Adaptive FFT: try the fabric, fall back to the CPU when it is busy.
 
@@ -265,8 +313,14 @@ def fft_compute(os: Ucos, task_table_id: int, task_name: str,
     from .actions import Compute
     import numpy as np
 
-    handle = yield from hw_task_run(os, task_table_id, task_name, data_in,
-                                    sem=sem, max_retries=hw_retries)
+    if besteffort and allow_software and _brownout_reroute(os, "fft"):
+        # Brownout: the fabric is saturated, so best-effort work takes
+        # the software path immediately — same bytes, no PRR queueing.
+        handle = HwTaskHandle(status=HcStatus.BUSY)
+    else:
+        handle = yield from hw_task_run(os, task_table_id, task_name,
+                                        data_in, sem=sem,
+                                        max_retries=hw_retries)
     if handle.status == HcStatus.SUCCESS or not allow_software:
         return handle
 
@@ -286,6 +340,7 @@ def fft_compute(os: Ucos, task_table_id: int, task_name: str,
 def qam_compute(os: Ucos, task_table_id: int, task_name: str,
                 data_in: bytes, *, sem: Semaphore | None = None,
                 allow_software: bool = True,
+                besteffort: bool = False,
                 hw_retries: int = 2) -> Generator:
     """Adaptive QAM modulation: fabric first, CPU fallback on HW failure.
 
@@ -299,8 +354,12 @@ def qam_compute(os: Ucos, task_table_id: int, task_name: str,
     from . import layout_guest as GL
     from .actions import Compute
 
-    handle = yield from hw_task_run(os, task_table_id, task_name, data_in,
-                                    sem=sem, max_retries=hw_retries)
+    if besteffort and allow_software and _brownout_reroute(os, "qam"):
+        handle = HwTaskHandle(status=HcStatus.BUSY)
+    else:
+        handle = yield from hw_task_run(os, task_table_id, task_name,
+                                        data_in, sem=sem,
+                                        max_retries=hw_retries)
     if handle.status == HcStatus.SUCCESS or not allow_software:
         return handle
 

@@ -85,6 +85,10 @@ class ManagerService:
             # Every request can change fabric ownership (allocate, reclaim,
             # release): reconcile the per-VM PRR occupancy intervals.
             kernel.acct.sync_prr_occupancy(kernel.machine.prrs)
+            if kernel.brownout is not None:
+                # Fabric/queue pressure may have moved — let the brownout
+                # controller flip mode (docs/FLEET.md §11).
+                kernel.brownout.observe(kernel)
             kernel.manager_post_result(req, result)
             self.current_request = None
             self.requests_handled += 1

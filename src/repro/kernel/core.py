@@ -147,6 +147,15 @@ class MiniNova:
         #: Fault injector attachment point (set by FaultInjector.attach;
         #: None = happy path, zero supervision events scheduled).
         self.faults = None
+        #: Brownout controller attachment point (a :class:`repro.hwmgr.
+        #: brownout.BrownoutController`; None = brownout mode off).  The
+        #: manager service feeds it pressure, the adaptive guest APIs
+        #: consult it for best-effort tasks (docs/FLEET.md §11).
+        self.brownout = None
+        #: Guest-side retry budget (a :class:`repro.fleet.overload.
+        #: RetryBudget`; None = unbudgeted legacy retries).  Consulted by
+        #: the MANAGER_RESTARTING/BUSY retry loop in guest/api.py.
+        self.guest_retry_budget = None
         #: Flight-recorder attachment point (set by FlightRecorder.arm;
         #: None = no post-mortem bundle on incident — docs/OBSERVABILITY.md
         #: §13).  Purely observational: dumping never mutates kernel state.

@@ -108,6 +108,19 @@ def _metric_name(key: str) -> str:
     return key if brace < 0 else key[:brace]
 
 
+def evaluate_rate_floor(num: float, den: float, *, min_ratio: float,
+                        min_denominator: int = 1
+                        ) -> tuple[float | None, bool]:
+    """The ``rate_floor`` predicate, shared between :class:`SloEngine`
+    windows and offline gates (the fleet surge soak's goodput check):
+    returns ``(observed_ratio, breaching)``.  Below ``min_denominator``
+    the ratio is statistically meaningless and never breaches."""
+    if den >= min_denominator and den > 0:
+        observed = num / den
+        return observed, observed < min_ratio
+    return None, False
+
+
 def _bucket_quantile(buckets, counts, q: float) -> float | None:
     """Quantile by bucket upper bound; overflow bucket -> +inf."""
     total = sum(counts)
@@ -223,9 +236,8 @@ class SloEngine:
             min_den = int(r.params.get("min_denominator", 1))
             num = sum(n for _, (n, _) in st.window)
             den = sum(d for _, (_, d) in st.window)
-            if den >= min_den and den > 0:
-                observed = num / den
-                breaching = observed < limit
+            observed, breaching = evaluate_rate_floor(
+                num, den, min_ratio=limit, min_denominator=min_den)
         else:                                       # error_budget
             limit = float(r.params["max_burn_rate"])
             budget = 1.0 - float(r.params["objective"])

@@ -165,6 +165,22 @@ class TelemetryStream:
                     "fired": fired, "paths": paths, "novel": novel,
                     "ok": ok, "info": info})
 
+    def emit_overload_transition(self, kind: str, *, tick: int,
+                                 **info: Any) -> None:
+        """One overload-plane state change: a tenant degrade/restore/
+        overload_kill, a breaker open/half_open/close, or a brownout
+        enter/exit (docs/FLEET.md §11)."""
+        self._emit("overload_transition",
+                   {"kind": kind, "tick": tick, "info": info})
+
+    def emit_overload_summary(self, *, admitted: int, dropped: int,
+                              goodput: int, **info: Any) -> None:
+        """End-of-run overload accounting: admission totals plus
+        whatever the harness adds (drops by reason, breaker counts)."""
+        self._emit("overload_summary",
+                   {"admitted": admitted, "dropped": dropped,
+                    "goodput": goodput, "info": info})
+
     def emit_explore_failure(self, schedule_id: str, *, reasons: list[str],
                              shrunk_to: int, replayed_identical: bool,
                              **info: Any) -> None:

@@ -41,7 +41,8 @@ def test_unknown_site_error_names_the_valid_list():
 def test_inline_and_fleet_partition_the_registry():
     assert sorted(inline_sites() + fleet_sites()) == sorted(ALL_SITES)
     assert set(fleet_sites()) == {"board.crash", "board.hang",
-                                  "board.partition"}
+                                  "board.partition", "traffic.surge",
+                                  "retry.storm"}
 
 
 def test_expected_paths_union_is_sorted():

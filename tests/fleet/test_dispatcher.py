@@ -194,3 +194,31 @@ def test_dead_tenant_arrivals_are_shed():
         assert disp.violations == []
     finally:
         disp.close()
+
+
+def test_service_queue_is_fifo_deque():
+    # Regression: the per-tenant queue used to be a list served with
+    # O(n) pop(0); it is now a deque and must keep strict FIFO order —
+    # a served request's latency is measured from the *oldest* queued
+    # arrival, and F4 still balances afterwards.
+    from collections import deque
+
+    cfg = FleetConfig(boards=1, tenants_per_board=1, seed=3, ticks=1,
+                      rate_per_tick=0.0)
+    disp = run_fleet_ticks(cfg)
+    try:
+        rec = disp.tenants["tn00"]
+        assert isinstance(rec.queue, deque)
+        rec.queue.extend([0, 1, 2])             # arrival ticks, in order
+        rec.arrived += 3
+        before = len(disp.latency["all"])
+        disp._serve(rec.board, {rec.vm_id: rec.progress + 2}, t=5)
+        # Two served, oldest first: latency (5-0+1) then (5-1+1) ticks.
+        lats = [lat // disp.tick_cycles
+                for lat in disp.latency["all"][before:]]
+        assert lats == [6, 5]
+        assert list(rec.queue) == [2]           # youngest still queued
+        assert rec.arrived == rec.accounted()   # F4
+        assert check_fleet_invariants(disp) == []
+    finally:
+        disp.close()

@@ -31,7 +31,7 @@ class TestTenantRecord:
         rec.arrived = 7
         rec.served = 3
         rec.shed_requests = 2
-        rec.queue = [1, 4]
+        rec.queue.extend([1, 4])
         assert rec.accounted() == rec.arrived       # F4 holds
         d = rec.as_dict()
         assert d["queued"] == 2 and d["state"] == RUNNING
@@ -68,3 +68,64 @@ class TestTrafficModel:
     def test_negative_rate_rejected(self):
         with pytest.raises(ValueError):
             TrafficModel(["a"], seed=1, rate_per_tick=-0.5)
+
+    def test_same_seed_tape_is_byte_identical(self):
+        # The rerun guarantee at its root: the full arrival tape,
+        # JSON-encoded, is byte-equal across same-seed instances.
+        import json
+
+        def tape():
+            t = TrafficModel(["a", "b", "c"], seed=11, rate_per_tick=0.7,
+                             burst_period_ticks=8, burst_factor=3.0,
+                             surges=((5, 4, 6.0),))
+            return json.dumps([t.arrivals(i) for i in range(64)],
+                              sort_keys=True).encode()
+
+        assert tape() == tape()
+
+    def test_totals_track_intensity(self):
+        # Arrivals are Poisson(rate * intensity(t)) with one draw per
+        # tenant per tick, so the long-run total must track
+        # rate * sum(intensity) — and a zero-intensity tick is silent.
+        n_tenants, ticks = 8, 400
+        t = TrafficModel([f"t{i}" for i in range(n_tenants)], seed=3,
+                         rate_per_tick=0.5, burst_period_ticks=10,
+                         burst_factor=4.0)
+        total = sum(sum(t.arrivals(i).values()) for i in range(ticks))
+        expected = 0.5 * n_tenants * sum(t.intensity(i)
+                                         for i in range(ticks))
+        assert expected * 0.85 <= total <= expected * 1.15
+
+    def test_zero_intensity_window_is_silent(self):
+        t = TrafficModel(["a", "b"], seed=7, rate_per_tick=2.0,
+                         burst_factor=1.0)
+        t.schedule_surge(3, 4, 0.0)     # a blackout, not a surge
+        for tick in range(3, 7):
+            assert t.intensity(tick) == 0.0
+            assert all(n == 0 for n in t.arrivals(tick).values())
+
+
+class TestSurgeKnob:
+    def test_surge_multiplies_intensity_in_window_only(self):
+        t = TrafficModel(["a"], seed=1, rate_per_tick=1.0,
+                         burst_period_ticks=4, burst_factor=3.0)
+        t.schedule_surge(2, 3, 5.0)
+        assert t.intensity(1) == 1.0
+        assert t.intensity(2) == 5.0
+        assert t.intensity(4) == 15.0   # stacks on the square wave
+        assert t.intensity(5) == 3.0    # window closed
+
+    def test_constructor_and_scheduled_surges_agree(self):
+        t1 = TrafficModel(["a"], seed=4, rate_per_tick=1.0,
+                          surges=((6, 2, 8.0),))
+        t2 = TrafficModel(["a"], seed=4, rate_per_tick=1.0)
+        t2.schedule_surge(6, 2, 8.0)
+        assert ([t1.arrivals(i) for i in range(20)]
+                == [t2.arrivals(i) for i in range(20)])
+
+    def test_bad_surge_rejected(self):
+        t = TrafficModel(["a"], seed=1)
+        with pytest.raises(ValueError):
+            t.schedule_surge(0, 0, 2.0)
+        with pytest.raises(ValueError):
+            t.schedule_surge(0, 1, -1.0)
